@@ -1,0 +1,170 @@
+"""Ablations of PACT design choices and future-work extensions.
+
+Not a paper figure, but the evaluation's §4 design discussion calls out
+three choices these benches quantify:
+
+* **Eager demotion margin m** (§4.4.2): m = 0 balances promotion and
+  demotion; larger m pre-reserves fast-tier headroom for bursty phases.
+* **Latency-weighted attribution** (§4.3.7 future work):
+  ``S_p = S * A_p l_p / sum A_i l_i`` using TPEBS-style per-record
+  latencies, which sharpens criticality separation under colocated
+  heterogeneous access patterns.
+* **Promotion cooldown**: the anti-thrash guard on re-promotion.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import make_policy
+from repro.common.tables import format_table
+from repro.sim.engine import ideal_baseline, run_policy
+from repro.sim.machine import Machine
+from repro.workloads import ColocatedWorkload, Masim
+
+from conftest import BENCH_WORK, bench_workload, emit, once
+
+
+def test_ablation_eager_demotion_margin(benchmark, config):
+    def run():
+        rows = []
+        baseline = ideal_baseline(bench_workload("bc-kron"), config=config)
+        for m in (0, 16, 64, 256):
+            res = run_policy(
+                bench_workload("bc-kron"), make_policy("PACT", m=m), ratio="1:2",
+                config=config,
+            )
+            rows.append([m, f"{res.slowdown(baseline):.3f}", res.promoted, res.demoted])
+        return rows
+
+    rows = once(benchmark, run)
+    report = format_table(["m (demote-ahead)", "slowdown", "promoted", "demoted"], rows)
+    report += (
+        "\n\nm=0 is the conservative default (§4.4.2); larger m demotes ahead"
+        "\nof demand, helping bursty workloads at the cost of extra demotions."
+    )
+    emit("ablation_eager_demotion", report)
+    slowdowns = [float(r[1]) for r in rows]
+    assert max(slowdowns) - min(slowdowns) < 0.12  # robust to m (paper: minimal tuning)
+    assert rows[-1][3] >= rows[0][3]  # larger m -> at least as many demotions
+
+
+def _colocation():
+    return ColocatedWorkload(
+        [
+            Masim(pattern="sequential", footprint_pages=4096,
+                  total_misses=BENCH_WORK // 2, misses_per_window=160_000, seed=51),
+            Masim(pattern="random", footprint_pages=4096,
+                  total_misses=BENCH_WORK // 2, misses_per_window=95_000, seed=52),
+        ]
+    )
+
+
+def test_ablation_latency_weighted_attribution(benchmark, config):
+    def run():
+        baseline = ideal_baseline(_colocation(), config=config)
+        plain = run_policy(_colocation(), make_policy("PACT"), ratio="1:1", config=config)
+        weighted = run_policy(
+            _colocation(), make_policy("PACT", latency_weighted=True), ratio="1:1",
+            config=config,
+        )
+        return baseline, plain, weighted
+
+    baseline, plain, weighted = once(benchmark, run)
+    report = format_table(
+        ["attribution", "slowdown", "promotions"],
+        [
+            ["proportional (Alg. 1)", f"{plain.slowdown(baseline):.3f}", plain.promoted],
+            ["latency-weighted (§4.3.7)", f"{weighted.slowdown(baseline):.3f}", weighted.promoted],
+        ],
+    )
+    report += (
+        "\n\nUnder colocation, per-record latency weighting separates the"
+        "\nlatency-bound process's pages from equally-frequent streaming pages."
+    )
+    emit("ablation_latency_weighted", report)
+    # The extension must not hurt, and typically helps under colocation.
+    assert weighted.slowdown(baseline) <= plain.slowdown(baseline) + 0.03
+
+
+def test_ablation_promotion_cooldown(benchmark, config):
+    def run():
+        baseline = ideal_baseline(bench_workload("bc-kron"), config=config)
+        rows = []
+        for cooldown in (0, 5, 20, 100):
+            res = run_policy(
+                bench_workload("bc-kron"),
+                make_policy("PACT", promotion_cooldown_windows=cooldown),
+                ratio="1:4",
+                config=config,
+            )
+            rows.append([cooldown, f"{res.slowdown(baseline):.3f}", res.promoted])
+        return rows
+
+    rows = once(benchmark, run)
+    report = format_table(["cooldown (windows)", "slowdown", "promotions"], rows)
+    emit("ablation_promotion_cooldown", report)
+    # Performance is robust across the cooldown range (no tuning cliff).
+    slowdowns = [float(r[1]) for r in rows]
+    assert max(slowdowns) - min(slowdowns) < 0.08
+
+
+def test_ablation_hardware_backends(benchmark, config):
+    """§4.2.2 + §4.3.5 portability: PACT on alternative hardware signals.
+
+    * TOR counters vs Little's-law MLP (Intel vs AMD measurement path),
+    * PEBS event sampling vs CHMU controller-side counting (CXL 3.2).
+    """
+
+    def run():
+        baseline = ideal_baseline(bench_workload("bc-kron"), config=config)
+        rows = []
+        variants = {
+            "TOR + PEBS (default)": {},
+            "Little's-law MLP (AMD path)": {"mlp_source": "littles_law"},
+            "CHMU access sampling": {"access_sampler": "chmu"},
+            "Little's-law + CHMU": {"mlp_source": "littles_law", "access_sampler": "chmu"},
+        }
+        for label, kwargs in variants.items():
+            res = run_policy(
+                bench_workload("bc-kron"),
+                make_policy("PACT", **kwargs),
+                ratio="1:2",
+                config=config,
+            )
+            rows.append([label, f"{res.slowdown(baseline):.3f}", res.promoted])
+        return rows
+
+    rows = once(benchmark, run)
+    report = format_table(["hardware backend", "slowdown", "promotions"], rows)
+    report += (
+        "\n\nPAC needs MLP's temporal variation, not its absolute value"
+        "\n(§4.2.2), so the overestimating Little's-law path stays close;"
+        "\nCHMU's exact counts match or beat 1-in-400 PEBS sampling."
+    )
+    emit("ablation_hardware_backends", report)
+    slowdowns = [float(r[1]) for r in rows]
+    assert max(slowdowns) - min(slowdowns) < 0.08  # all backends viable
+
+
+def test_headline_with_confidence_intervals(benchmark, config):
+    """Seed-replicated headline claim: PACT's advantage over Colloid on
+    bc-kron at 1:2 survives sampling noise (95% confidence)."""
+    from repro.analysis.repeat import repeat_runs, significantly_better
+
+    def run():
+        factory = lambda: bench_workload("bc-kron")
+        pact = repeat_runs(factory, "PACT", ratio="1:2", seeds=(0, 1, 2, 3), config=config)
+        colloid = repeat_runs(factory, "Colloid", ratio="1:2", seeds=(0, 1, 2, 3), config=config)
+        return pact, colloid
+
+    pact, colloid = once(benchmark, run)
+    report = format_table(
+        ["policy", "slowdown (mean ± 95% CI)", "promotions (mean)"],
+        [
+            ["PACT", f"{pact.mean_slowdown:.3f} ± {pact.ci95_slowdown:.3f}", f"{pact.mean_promotions:.0f}"],
+            ["Colloid", f"{colloid.mean_slowdown:.3f} ± {colloid.ci95_slowdown:.3f}", f"{colloid.mean_promotions:.0f}"],
+        ],
+    )
+    verdict = significantly_better(pact, colloid)
+    report += f"\n\nPACT significantly better at 95% confidence: {verdict}"
+    emit("ablation_confidence", report)
+    assert verdict

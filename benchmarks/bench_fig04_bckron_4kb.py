@@ -1,0 +1,74 @@
+"""Figure 4 + Table 2: bc-kron with 4KB pages across seven tier ratios.
+
+Reproduces the flagship comparison: slowdown (vs. DRAM-only) of PACT
+against the seven baselines and NoTier at fast:slow ratios from 8:1 to
+1:8, plus the promotion-count table.  Paper shapes: PACT lowest and
+stable; Colloid/NBT degrade with pressure; TPP catastrophic; Nomad
+>100%; NoTier flat-bad; PACT promotes multiples fewer pages than
+Colloid/NBT and orders of magnitude fewer than TPP.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweep import run_sweep
+from repro.common.tables import format_count, format_table
+
+from conftest import MAIN_POLICIES, bench_workload, emit, once
+
+
+@pytest.fixture(scope="module")
+def bckron_sweep(benchmark_disable_gc=None):
+    return None  # placeholder; the sweep runs inside the benchmarked test
+
+
+def test_fig04_and_table2_bckron_4kb(benchmark, config, paper_ratios):
+    def run():
+        return run_sweep(
+            {"bc-kron": lambda: bench_workload("bc-kron")},
+            policies=list(MAIN_POLICIES),
+            ratios=list(paper_ratios),
+            config=config,
+        )
+
+    sweep = once(benchmark, run)
+
+    # --- Figure 4: slowdown rows (policies x ratios). -----------------
+    slow_rows = []
+    for policy in MAIN_POLICIES:
+        row = [policy]
+        for ratio in paper_ratios:
+            row.append(f"{sweep.cell('bc-kron', policy, ratio).slowdown:.3f}")
+        slow_rows.append(row)
+    slow_rows.append(
+        ["CXL (all-slow)"] + [f"{sweep.slow_only['bc-kron']:.3f}"] * len(paper_ratios)
+    )
+    fig4 = format_table(["policy"] + list(paper_ratios), slow_rows)
+
+    # --- Table 2: promotion counts. ------------------------------------
+    promo = sweep.promotions_table("bc-kron")
+    promo_rows = []
+    for policy in ("PACT", "Colloid", "NBT", "Alto", "Nomad", "TPP", "Memtis"):
+        promo_rows.append(
+            [policy] + [format_count(promo[policy][r]) for r in paper_ratios]
+        )
+    tab2 = format_table(["policy"] + list(paper_ratios), promo_rows)
+
+    ratios_vs_colloid = [
+        promo["Colloid"][r] / max(promo["PACT"][r], 1) for r in paper_ratios
+    ]
+    notes = (
+        "Colloid/PACT promotion ratio per ratio: "
+        + ", ".join(f"{r:.1f}x" for r in ratios_vs_colloid)
+        + "\npaper Table 2: PACT 550K-907K (flat); Colloid 1.2M-9M (2.1-10.4x PACT);"
+        "\nTPP 116M-285M; Memtis 1.3K-15K; Nomad 5K-32K."
+    )
+    emit("fig04_bckron_4kb", fig4 + "\n\n--- Table 2: promotions ---\n" + tab2 + "\n\n" + notes)
+
+    # Shape assertions.
+    for ratio in paper_ratios:
+        pact = sweep.cell("bc-kron", "PACT", ratio).slowdown
+        for rival in ("Colloid", "NBT", "TPP", "Nomad", "NoTier"):
+            assert pact < sweep.cell("bc-kron", rival, ratio).slowdown * 1.02, (ratio, rival)
+    assert promo["TPP"]["1:1"] > 20 * promo["PACT"]["1:1"]

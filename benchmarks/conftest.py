@@ -1,0 +1,66 @@
+"""Shared infrastructure for the paper-reproduction benchmark harness.
+
+Every bench regenerates one table or figure of the paper's evaluation
+(§5) and prints the corresponding rows/series.  Output also lands in
+``benchmarks/out/<bench>.txt`` so results survive quiet pytest runs.
+
+Work budgets are scaled down from the paper's multi-minute executions
+(set ``REPRO_BENCH_WORK`` to a miss count to override; default 12M
+misses ~= 48 sampling windows per run).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.sim.config import MachineConfig, PAPER_RATIOS
+from repro.sim.engine import clear_baseline_cache
+from repro.workloads import make_workload
+
+#: Misses per run; ~250k per window -> ~48 windows at the default.
+BENCH_WORK = int(os.environ.get("REPRO_BENCH_WORK", 12_000_000))
+
+#: Reduced work for the widest sweeps (12-workload grids).
+BENCH_WORK_WIDE = int(os.environ.get("REPRO_BENCH_WORK_WIDE", 8_000_000))
+
+OUT_DIR = Path(__file__).parent / "out"
+
+#: The comparison set used by the main figures.
+MAIN_POLICIES = ("PACT", "Colloid", "Alto", "NBT", "TPP", "Memtis", "Nomad", "Soar", "NoTier")
+
+
+def bench_workload(name: str, wide: bool = False, **kwargs):
+    """An evaluation workload scaled to the bench budget."""
+    kwargs.setdefault("total_misses", BENCH_WORK_WIDE if wide else BENCH_WORK)
+    return make_workload(name, **kwargs)
+
+
+def emit(bench_name: str, text: str) -> None:
+    """Print a bench's report and persist it under benchmarks/out/."""
+    banner = f"\n===== {bench_name} =====\n"
+    print(banner + text)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{bench_name}.txt").write_text(text + "\n")
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def config():
+    return MachineConfig()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_baselines():
+    clear_baseline_cache()
+
+
+@pytest.fixture(scope="session")
+def paper_ratios():
+    return PAPER_RATIOS

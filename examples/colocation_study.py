@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Colocation study: tiering two processes with clashing access patterns.
+
+Usage::
+
+    python examples/colocation_study.py
+
+Co-locates a streaming process and a pointer-chasing process in one
+tiered address space where the fast tier holds only half the combined
+footprint (the paper's §5.9 setup), and shows how PACT allocates the
+fast tier to the process that actually stalls the CPU.
+"""
+
+from repro import Machine, ideal_baseline, make_policy
+from repro.mem import Tier
+from repro.workloads import ColocatedWorkload, Masim
+
+PAGES = 5_120
+WORK = 8_000_000
+
+
+def build():
+    return ColocatedWorkload(
+        [
+            Masim(pattern="sequential", footprint_pages=PAGES,
+                  total_misses=WORK, misses_per_window=160_000, seed=61),
+            Masim(pattern="random", footprint_pages=PAGES,
+                  total_misses=WORK, misses_per_window=95_000, seed=62),
+        ]
+    )
+
+
+def run(policy_name: str):
+    workload = build()
+    machine = Machine(workload, make_policy(policy_name), ratio="1:1", seed=9)
+    result = machine.run()
+    fast = machine.memory.pages_in_tier(Tier.FAST)
+    seq_fast = int((fast < PAGES).sum())
+    rnd_fast = int((fast >= PAGES).sum())
+    return result, seq_fast, rnd_fast
+
+
+def main() -> None:
+    baseline = ideal_baseline(build())
+    print(f"{'policy':>8} | {'slowdown':>8} | {'promos':>7} | {'fast: streaming':>15} | {'fast: chasing':>13}")
+    print("-" * 66)
+    for name in ("PACT", "Colloid", "NoTier"):
+        result, seq_fast, rnd_fast = run(name)
+        print(
+            f"{name:>8} | {result.slowdown(baseline):>7.1%} | {result.promoted:>7,}"
+            f" | {seq_fast:>11} pgs | {rnd_fast:>9} pgs"
+        )
+    print(
+        "\nThe chasing process's pages expose the full CXL latency per access"
+        "\n(MLP ~8 vs ~14 for the prefetched stream), so PACT fills the fast"
+        "\ntier with them -- frequency counters see both processes as equal."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Analysis helpers: model fits, improvement CDFs, experiment sweeps."""
+
+from repro.analysis.correlation import (
+    ModelFitResult,
+    aggregate_per_workload,
+    evaluate_stall_model,
+)
+from repro.analysis.improvement import (
+    ImprovementSummary,
+    pooled_improvements,
+    summarize_improvements,
+)
+from repro.analysis.repeat import RepeatedResult, repeat_runs, significantly_better
+from repro.analysis.sweep import SweepCell, SweepResult, run_sweep
+
+__all__ = [
+    "ImprovementSummary",
+    "ModelFitResult",
+    "RepeatedResult",
+    "SweepCell",
+    "SweepResult",
+    "aggregate_per_workload",
+    "evaluate_stall_model",
+    "pooled_improvements",
+    "repeat_runs",
+    "run_sweep",
+    "significantly_better",
+    "summarize_improvements",
+]

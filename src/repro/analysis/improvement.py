@@ -1,0 +1,67 @@
+"""Cross-workload improvement aggregation (Figure 7's CDFs).
+
+Given per-(workload, policy) slowdowns at a tier ratio, computes PACT's
+relative runtime improvement over each competing system and the
+empirical CDF of those improvements, as the paper reports in §5.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.common.stats import cdf_points
+from repro.sim.metrics import improvement
+
+
+@dataclass
+class ImprovementSummary:
+    """PACT-vs-one-competitor improvements across a workload suite."""
+
+    competitor: str
+    improvements: List[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.improvements)) if self.improvements else 0.0
+
+    @property
+    def max(self) -> float:
+        return float(np.max(self.improvements)) if self.improvements else 0.0
+
+    @property
+    def min(self) -> float:
+        return float(np.min(self.improvements)) if self.improvements else 0.0
+
+    def cdf(self) -> "tuple[np.ndarray, np.ndarray]":
+        return cdf_points(self.improvements)
+
+
+def summarize_improvements(
+    slowdowns: Dict[str, Dict[str, float]],
+    subject: str = "PACT",
+    competitors: Sequence[str] = ("Colloid", "NBT", "Memtis"),
+) -> Dict[str, ImprovementSummary]:
+    """Build per-competitor improvement summaries.
+
+    ``slowdowns`` maps workload -> {policy -> slowdown vs ideal}.
+    """
+    summaries = {name: ImprovementSummary(name) for name in competitors}
+    for workload, by_policy in slowdowns.items():
+        if subject not in by_policy:
+            raise ValueError(f"missing {subject} result for {workload}")
+        own = by_policy[subject]
+        for name in competitors:
+            if name in by_policy:
+                summaries[name].improvements.append(improvement(own, by_policy[name]))
+    return summaries
+
+
+def pooled_improvements(summaries: Dict[str, ImprovementSummary]) -> ImprovementSummary:
+    """All competitors pooled into one distribution (Figure 7a)."""
+    pooled = ImprovementSummary("all")
+    for summary in summaries.values():
+        pooled.improvements.extend(summary.improvements)
+    return pooled

@@ -1,0 +1,114 @@
+"""Multi-seed repetition: slowdown means and confidence intervals.
+
+The simulator is stochastic (PEBS sampling, counter noise, workload
+draws); single runs carry seed noise.  ``repeat_runs`` replays one
+experiment across seeds and summarises slowdown/migration statistics so
+comparisons can be made with error bars.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines import make_policy
+from repro.sim.config import MachineConfig
+from repro.sim.engine import ideal_baseline, run_policy
+from repro.workloads.base import Workload
+
+#: Two-sided 95% normal quantile (seeds are cheap; t-corrections are
+#: overkill at the n we run).
+_Z95 = 1.96
+
+
+@dataclass
+class RepeatedResult:
+    """Seed-replicated statistics for one (workload, policy, ratio)."""
+
+    workload: str
+    policy: str
+    ratio: str
+    slowdowns: np.ndarray
+    promotions: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return int(self.slowdowns.size)
+
+    @property
+    def mean_slowdown(self) -> float:
+        return float(self.slowdowns.mean())
+
+    @property
+    def std_slowdown(self) -> float:
+        return float(self.slowdowns.std(ddof=1)) if self.n > 1 else 0.0
+
+    @property
+    def ci95_slowdown(self) -> float:
+        """Half-width of the 95% confidence interval on the mean."""
+        if self.n < 2:
+            return 0.0
+        return _Z95 * self.std_slowdown / math.sqrt(self.n)
+
+    @property
+    def mean_promotions(self) -> float:
+        return float(self.promotions.mean())
+
+    def summary(self) -> str:
+        return (
+            f"{self.policy} on {self.workload} @{self.ratio}: "
+            f"{self.mean_slowdown:.3f} ± {self.ci95_slowdown:.3f} "
+            f"(n={self.n}, promotions ~{self.mean_promotions:.0f})"
+        )
+
+
+def repeat_runs(
+    workload_factory: Callable[[], Workload],
+    policy_name: str,
+    ratio: str = "1:1",
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    config: Optional[MachineConfig] = None,
+    policy_kwargs: Optional[dict] = None,
+) -> RepeatedResult:
+    """Run one experiment across seeds and collect statistics.
+
+    Each seed reseeds both the machine's stochastic components and the
+    baseline used for normalisation, so the slowdown samples are i.i.d.
+    draws of the whole pipeline.
+    """
+    config = config if config is not None else MachineConfig()
+    policy_kwargs = policy_kwargs or {}
+    slowdowns, promotions = [], []
+    workload_name = ratio_name = None
+    for seed in seeds:
+        workload = workload_factory()
+        baseline = ideal_baseline(workload, config=config, seed=seed)
+        result = run_policy(
+            workload,
+            make_policy(policy_name, **policy_kwargs),
+            ratio=ratio,
+            config=config,
+            seed=seed,
+        )
+        slowdowns.append(result.slowdown(baseline))
+        promotions.append(result.promoted)
+        workload_name = result.workload
+        ratio_name = result.ratio
+    return RepeatedResult(
+        workload=workload_name,
+        policy=policy_name,
+        ratio=ratio_name,
+        slowdowns=np.asarray(slowdowns, dtype=float),
+        promotions=np.asarray(promotions, dtype=float),
+    )
+
+
+def significantly_better(a: RepeatedResult, b: RepeatedResult) -> bool:
+    """Welch-style check: is ``a``'s mean slowdown below ``b``'s beyond
+    the combined 95% uncertainty?"""
+    gap = b.mean_slowdown - a.mean_slowdown
+    noise = math.sqrt(a.ci95_slowdown**2 + b.ci95_slowdown**2)
+    return gap > noise

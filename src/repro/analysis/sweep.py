@@ -1,0 +1,100 @@
+"""Experiment sweep driver shared by the benchmark harness.
+
+Runs (workload x policy x ratio) grids against cached ideal baselines
+and returns slowdown/migration tables the benches print in the shape of
+the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.baselines import make_policy
+from repro.sim.config import MachineConfig
+from repro.sim.engine import ideal_baseline, run_policy, slow_only_run
+from repro.sim.metrics import RunResult
+from repro.workloads.base import Workload
+
+WorkloadFactory = Callable[[], Workload]
+
+
+@dataclass
+class SweepCell:
+    """One (workload, policy, ratio) outcome."""
+
+    workload: str
+    policy: str
+    ratio: str
+    slowdown: float
+    promoted: int
+    demoted: int
+    runtime_ms: float
+
+
+@dataclass
+class SweepResult:
+    """Full grid of outcomes plus reference lines."""
+
+    cells: List[SweepCell] = field(default_factory=list)
+    #: Slowdown of the all-slow-tier run per workload (the 'CXL' line).
+    slow_only: Dict[str, float] = field(default_factory=dict)
+
+    def cell(self, workload: str, policy: str, ratio: str) -> SweepCell:
+        for c in self.cells:
+            if c.workload == workload and c.policy == policy and c.ratio == ratio:
+                return c
+        raise KeyError((workload, policy, ratio))
+
+    def slowdown_table(self, ratio: str) -> Dict[str, Dict[str, float]]:
+        """workload -> {policy -> slowdown} at one ratio."""
+        table: Dict[str, Dict[str, float]] = {}
+        for c in self.cells:
+            if c.ratio == ratio:
+                table.setdefault(c.workload, {})[c.policy] = c.slowdown
+        return table
+
+    def promotions_table(self, workload: str) -> Dict[str, Dict[str, int]]:
+        """policy -> {ratio -> promotions} for one workload (Table 2)."""
+        table: Dict[str, Dict[str, int]] = {}
+        for c in self.cells:
+            if c.workload == workload:
+                table.setdefault(c.policy, {})[c.ratio] = c.promoted
+        return table
+
+
+def run_sweep(
+    workload_factories: Dict[str, WorkloadFactory],
+    policies: Sequence[str],
+    ratios: Sequence[str],
+    config: Optional[MachineConfig] = None,
+    seed: int = 0,
+    policy_kwargs: Optional[Dict[str, dict]] = None,
+) -> SweepResult:
+    """Run the full grid; policies are instantiated fresh per run."""
+    config = config if config is not None else MachineConfig()
+    policy_kwargs = policy_kwargs or {}
+    result = SweepResult()
+    for wname, factory in workload_factories.items():
+        workload = factory()
+        baseline = ideal_baseline(workload, config=config, seed=seed)
+        slow = slow_only_run(workload, config=config, seed=seed)
+        result.slow_only[wname] = slow.slowdown(baseline)
+        for ratio in ratios:
+            for pname in policies:
+                policy = make_policy(pname, **policy_kwargs.get(pname, {}))
+                run = run_policy(
+                    workload, policy, ratio=ratio, config=config, seed=seed
+                )
+                result.cells.append(
+                    SweepCell(
+                        workload=wname,
+                        policy=pname,
+                        ratio=ratio,
+                        slowdown=run.slowdown(baseline),
+                        promoted=run.promoted,
+                        demoted=run.demoted,
+                        runtime_ms=run.runtime_ms,
+                    )
+                )
+    return result

@@ -1,0 +1,69 @@
+"""Baseline tiering systems the paper compares against (§5).
+
+Each baseline is a behaviourally faithful model of the published
+system's *policy* -- what it observes, when it migrates, what it pays --
+driven by the same simulated counters and memory state as PACT.
+``make_policy``/``ALL_POLICIES`` give the benches a uniform way to sweep
+the full comparison set.
+"""
+
+from typing import Callable, Dict, List
+
+from repro.baselines.alto import AltoPolicy
+from repro.baselines.colloid import ColloidPolicy
+from repro.baselines.memtis import MemtisPolicy
+from repro.baselines.nbt import NbtPolicy
+from repro.baselines.nomad import NomadPolicy
+from repro.baselines.soar import SoarPolicy
+from repro.baselines.tpp import TppPolicy
+from repro.core.pact import FrequencyPolicy, PactPolicy
+from repro.sim.policy_api import NoTierPolicy, SlowOnlyPolicy, TieringPolicy
+
+_FACTORIES: Dict[str, Callable[[], TieringPolicy]] = {
+    "PACT": PactPolicy,
+    "Frequency": FrequencyPolicy,
+    "Colloid": ColloidPolicy,
+    "Alto": AltoPolicy,
+    "NBT": NbtPolicy,
+    "TPP": TppPolicy,
+    "Memtis": MemtisPolicy,
+    "Nomad": NomadPolicy,
+    "Soar": SoarPolicy,
+    "NoTier": NoTierPolicy,
+    "CXL": SlowOnlyPolicy,
+}
+
+#: Comparison set of the main figures: PACT vs. the 7 systems + NoTier.
+ALL_POLICIES: List[str] = [
+    "PACT",
+    "Colloid",
+    "Alto",
+    "NBT",
+    "TPP",
+    "Memtis",
+    "Nomad",
+    "Soar",
+    "NoTier",
+]
+
+
+def make_policy(name: str, **kwargs) -> TieringPolicy:
+    """Instantiate a fresh policy by display name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(f"unknown policy {name!r}; known: {sorted(_FACTORIES)}") from None
+    return factory(**kwargs)
+
+
+__all__ = [
+    "ALL_POLICIES",
+    "AltoPolicy",
+    "ColloidPolicy",
+    "MemtisPolicy",
+    "NbtPolicy",
+    "NomadPolicy",
+    "SoarPolicy",
+    "TppPolicy",
+    "make_policy",
+]

@@ -1,0 +1,48 @@
+"""Alto: MLP-regulated promotion (Liu et al., OSDI '25), atop Colloid.
+
+Alto observes that when system-wide MLP is high, slow-tier latency is
+already being hidden and aggressive promotion buys little, so it
+throttles the promotion rate as MLP rises.  The paper runs Alto layered
+on Colloid (§5.4); it lands between Colloid and PACT in migration volume
+(Table 2) because its MLP signal is *system-wide* and period-level --
+it cannot tell which tier, or which pages, the parallelism comes from.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.colloid import ColloidPolicy
+from repro.mem.page import Tier
+from repro.sim.policy_api import Decision, Observation
+
+
+class AltoPolicy(ColloidPolicy):
+    """Colloid whose promotion gain is scaled down by aggregate MLP."""
+
+    name = "Alto"
+
+    def __init__(self, mlp_reference: float = 2.0, min_throttle: float = 0.1, **kwargs):
+        super().__init__(**kwargs)
+        #: MLP at which promotion runs at full Colloid aggressiveness.
+        self.mlp_reference = mlp_reference
+        #: Lower bound on the throttle (never fully stops promotion).
+        self.min_throttle = min_throttle
+        self._base_gain = self.gain
+        self._base_batch = self.max_batch_fraction
+
+    def observe(self, obs: Observation) -> Decision:
+        # System-wide MLP: miss-weighted across both tiers, as a single
+        # offcore counter would report it.
+        fast_m = obs.perf.llc_misses.get(Tier.FAST, 0.0)
+        slow_m = obs.perf.llc_misses.get(Tier.SLOW, 0.0)
+        total = fast_m + slow_m
+        if total > 0:
+            mlp = (
+                fast_m * obs.tor_mlp.get(Tier.FAST, 1.0)
+                + slow_m * obs.tor_mlp.get(Tier.SLOW, 1.0)
+            ) / total
+        else:
+            mlp = 1.0
+        throttle = max(min(self.mlp_reference / mlp, 1.0), self.min_throttle)
+        self.gain = self._base_gain * throttle
+        self.max_batch_fraction = self._base_batch * throttle
+        return super().observe(obs)

@@ -1,0 +1,113 @@
+"""Memtis: PEBS-driven hotness classification (Lee et al., SOSP '23).
+
+Memtis samples accesses with PEBS, keeps per-page hotness counters in a
+histogram, and classifies the hottest pages -- as many as fit the fast
+tier -- as the "hot set"; only hot-classified pages are promoted, under
+a migration budget, by a background thread.  Counters are periodically
+halved (cooling).  It is THP-aware: in huge-page mode hotness is
+aggregated and decided per 2MB region, which is why it becomes the
+second-best system under THP in the paper (§5.2, Figure 5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.mem.page import HUGE_SHIFT, Tier
+from repro.sim.policy_api import Decision, Observation, TieringPolicy
+
+
+class MemtisPolicy(TieringPolicy):
+    """Hotness histogram + hot-set threshold + budgeted background moves."""
+
+    name = "Memtis"
+    synchronous_migration = False  # kmigrated-style background thread
+    needs_pebs = True
+    sample_fast_tier = True  # Memtis samples both tiers to split hot/cold
+
+    def __init__(
+        self,
+        cooling_period_windows: int = 10,
+        budget_fraction: float = 0.01,
+        hysteresis: float = 1.2,
+    ):
+        self.cooling_period_windows = cooling_period_windows
+        #: Per-window migration budget as a fraction of fast capacity.
+        self.budget_fraction = budget_fraction
+        #: A slow page must beat the hot-set threshold by this factor
+        #: before being promoted (avoids threshold ping-pong).
+        self.hysteresis = hysteresis
+        self._hotness: Optional[np.ndarray] = None
+        self._thp = False
+        self._footprint = 0
+
+    def attach(self, machine) -> None:
+        self._thp = machine.config.thp
+        self._footprint = machine.workload.footprint_pages
+        units = self._footprint >> HUGE_SHIFT if self._thp else self._footprint
+        self._hotness = np.zeros(max(units, 1) + 1, dtype=float)
+
+    def _unit_of(self, pages: np.ndarray) -> np.ndarray:
+        return pages >> HUGE_SHIFT if self._thp else pages
+
+    def observe(self, obs: Observation) -> Decision:
+        if obs.pebs.pages.size:
+            np.add.at(self._hotness, self._unit_of(obs.pebs.pages), obs.pebs.counts)
+        if obs.window > 0 and obs.window % self.cooling_period_windows == 0:
+            self._hotness *= 0.5
+        pages = obs.pebs.pages
+        if pages.size == 0:
+            return Decision.none()
+        in_slow = obs.memory.tier_of(pages) == int(Tier.SLOW)
+        slow_pages = pages[in_slow]
+        if slow_pages.size == 0:
+            return Decision.none()
+        threshold = self._hot_threshold(obs)
+        # threshold == 0 means the whole sampled set fits the fast tier:
+        # every accessed slow page classifies as hot.
+        hot_mask = self._hotness[self._unit_of(slow_pages)] > threshold * self.hysteresis
+        candidates = slow_pages[hot_mask]
+        if candidates.size == 0:
+            return Decision.none()
+        budget = max(int(obs.memory.capacity[Tier.FAST] * self.budget_fraction), 1)
+        if self._thp:
+            # Decisions are per-2MB unit; a unit consumes 512 pages of budget.
+            units = np.unique(self._unit_of(candidates))
+            unit_budget = max(budget >> HUGE_SHIFT, 1)
+            if units.size > unit_budget:
+                hot = self._hotness[units]
+                keep = np.argpartition(hot, units.size - unit_budget)[-unit_budget:]
+                units = units[keep]
+            candidates = units << HUGE_SHIFT  # engine expands to full 2MB
+        elif candidates.size > budget:
+            hot = self._hotness[candidates]
+            keep = np.argpartition(hot, candidates.size - budget)[-budget:]
+            candidates = candidates[keep]
+        need = max(candidates.size - obs.memory.free_pages(Tier.FAST), 0)
+        if self._thp and need > 0:
+            need = max(candidates.size * 512 - obs.memory.free_pages(Tier.FAST), 0)
+        return Decision(promote=candidates, demote_lru=int(need))
+
+    def _hot_threshold(self, obs: Observation) -> float:
+        """Hotness value above which pages would fit the fast tier.
+
+        Memtis picks the histogram threshold so the hot set's size
+        matches fast-tier capacity; with dense per-unit counters this is
+        a quantile query.
+        """
+        active = self._hotness[self._hotness > 0.0]
+        if active.size == 0:
+            return 0.0
+        capacity_units = obs.memory.capacity[Tier.FAST]
+        if self._thp:
+            capacity_units >>= HUGE_SHIFT
+        if active.size <= capacity_units:
+            return 0.0
+        frac = 1.0 - capacity_units / active.size
+        return float(np.quantile(active, frac))
+
+    def debug_info(self):
+        active = self._hotness[self._hotness > 0.0] if self._hotness is not None else []
+        return {"hot_units": float(len(active))}

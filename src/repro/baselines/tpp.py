@@ -1,0 +1,64 @@
+"""TPP: Transparent Page Placement (Maruf et al., ASPLOS '23).
+
+TPP's promotion path is NUMA-hint-fault driven: accesses to slow-tier
+pages trap, and the faulting page is promoted essentially immediately
+(with a short LRU-recency check).  Demotion is watermark-based reclaim
+from the fast tier's LRU tail.  Both run in the application's critical
+path, so under constrained fast tiers TPP ping-pongs pages and its
+migration volume explodes -- the paper measures 116M-285M promotions on
+bc-kron and ~800% slowdown (§5.2, Table 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mem.page import Tier
+from repro.sim.policy_api import Decision, Observation, TieringPolicy
+
+
+class TppPolicy(TieringPolicy):
+    """Hint-fault promotion with watermark LRU demotion."""
+
+    name = "TPP"
+    synchronous_migration = True  # fault-path migration
+    needs_pebs = False
+
+    #: TPP migrates in the fault path, with TLB shootdowns per page.
+    migration_cost_multiplier = 1.5
+
+    #: Critical-path cost of one NUMA hint fault (trap + handler).
+    hint_fault_cycles = 2500.0
+
+    def __init__(self, promotion_fraction: float = 1.0, watermark: float = 0.95):
+        #: Fraction of faulting slow pages promoted per window (the
+        #: hint-fault sampling does not catch every page every scan).
+        self.promotion_fraction = promotion_fraction
+        #: Fast-tier fill level above which reclaim kicks in.
+        self.watermark = watermark
+
+    def observe(self, obs: Observation) -> Decision:
+        faulted = obs.touched_slow
+        if faulted.size == 0:
+            return Decision.none()
+        take = max(int(faulted.size * self.promotion_fraction), 1)
+        # Hint faults arrive in access order, not sorted: take a spread.
+        promote = faulted if take >= faulted.size else faulted[
+            np.linspace(0, faulted.size - 1, take).astype(np.int64)
+        ]
+        capacity = obs.memory.capacity[Tier.FAST]
+        used_after = obs.memory.used[Tier.FAST] + promote.size
+        demote_lru = max(int(used_after - self.watermark * capacity), 0)
+        return Decision(
+            promote=promote,
+            demote_lru=demote_lru,
+            demote_victim_mode="fifo",  # watermark reclaim walks the physical LRU list
+        )
+
+    def window_overhead_cycles(self, obs: Observation) -> float:
+        """Hint-fault storm: the scanner unmaps across the whole address
+        space, so touched slow pages trap (and start migrations) and
+        touched fast pages still take cheap refault traps."""
+        return (
+            obs.touched_slow.size + 0.3 * obs.touched_fast.size
+        ) * self.hint_fault_cycles

@@ -1,0 +1,185 @@
+"""Command-line interface: run tiering experiments without writing code.
+
+Examples::
+
+    python -m repro run --workload bc-kron --policy PACT --ratio 1:2
+    python -m repro sweep --workload gpt-2 --policies PACT Colloid NoTier
+    python -m repro compare --ratio 1:1 --workloads bc-kron gups silo
+    python -m repro calibrate
+    python -m repro list
+
+All subcommands print plain-text tables; ``--work`` scales the per-run
+miss budget (larger = higher fidelity, slower).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.sweep import run_sweep
+from repro.baselines import ALL_POLICIES, make_policy
+from repro.common.tables import format_count, format_table
+from repro.core.calibration import calibrate_k
+from repro.mem.page import Tier
+from repro.sim.config import MachineConfig, PAPER_RATIOS
+from repro.sim.engine import ideal_baseline, run_policy, slow_only_run
+from repro.workloads import ALL_WORKLOADS, generate_corpus, make_workload
+
+DEFAULT_WORK = 12_000_000
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PACT tiered-memory reproduction: run simulated experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="one workload under one policy")
+    run_p.add_argument("--workload", required=True, choices=ALL_WORKLOADS)
+    run_p.add_argument("--policy", required=True, choices=sorted(set(ALL_POLICIES) | {"Frequency", "CXL"}))
+    run_p.add_argument("--ratio", default="1:1", help="fast:slow capacity, e.g. 1:4")
+    _common_args(run_p)
+
+    sweep_p = sub.add_parser("sweep", help="one workload across all paper ratios")
+    sweep_p.add_argument("--workload", required=True, choices=ALL_WORKLOADS)
+    sweep_p.add_argument(
+        "--policies", nargs="+", default=["PACT", "Colloid", "Memtis", "NoTier"]
+    )
+    _common_args(sweep_p)
+
+    cmp_p = sub.add_parser("compare", help="several workloads, all systems, one ratio")
+    cmp_p.add_argument("--workloads", nargs="+", default=["bc-kron"])
+    cmp_p.add_argument("--ratio", default="1:1")
+    cmp_p.add_argument(
+        "--policies", nargs="+", default=["PACT", "Colloid", "Memtis", "NBT", "NoTier"]
+    )
+    _common_args(cmp_p)
+
+    cal_p = sub.add_parser("calibrate", help="fit Equation 1's k on the corpus")
+    cal_p.add_argument("--windows", type=int, default=10, help="windows per corpus point")
+    cal_p.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("list", help="list available workloads and policies")
+    return parser
+
+
+def _common_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--work", type=int, default=DEFAULT_WORK, help="total misses per run")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--thp", action="store_true", help="2MB transparent huge pages")
+    p.add_argument("--pebs-rate", type=int, default=400, help="PEBS 1-in-N sampling rate")
+
+
+def _config(args) -> MachineConfig:
+    return MachineConfig(thp=getattr(args, "thp", False), pebs_rate=getattr(args, "pebs_rate", 400))
+
+
+def cmd_run(args, out) -> int:
+    config = _config(args)
+    workload = make_workload(args.workload, total_misses=args.work)
+    baseline = ideal_baseline(workload, config=config, seed=args.seed)
+    result = run_policy(
+        workload, make_policy(args.policy), ratio=args.ratio, config=config, seed=args.seed
+    )
+    rows = [
+        ["slowdown vs DRAM-only", f"{result.slowdown(baseline):.1%}"],
+        ["runtime", f"{result.runtime_ms:.0f} ms"],
+        ["windows", result.windows],
+        ["pages promoted", format_count(result.promoted)],
+        ["pages demoted", format_count(result.demoted)],
+        ["slow-tier LLC misses", format_count(result.tier_misses[Tier.SLOW])],
+        ["fast-tier LLC misses", format_count(result.tier_misses[Tier.FAST])],
+    ]
+    print(f"{args.workload} under {args.policy} at {args.ratio}:", file=out)
+    print(format_table(["metric", "value"], rows), file=out)
+    return 0
+
+
+def cmd_sweep(args, out) -> int:
+    config = _config(args)
+    sweep = run_sweep(
+        {args.workload: lambda: make_workload(args.workload, total_misses=args.work)},
+        policies=args.policies,
+        ratios=list(PAPER_RATIOS),
+        config=config,
+        seed=args.seed,
+    )
+    rows = []
+    for policy in args.policies:
+        rows.append(
+            [policy]
+            + [f"{sweep.cell(args.workload, policy, r).slowdown:.3f}" for r in PAPER_RATIOS]
+        )
+    rows.append(["CXL (all-slow)"] + [f"{sweep.slow_only[args.workload]:.3f}"] * len(PAPER_RATIOS))
+    print(f"slowdown vs DRAM-only, workload {args.workload}:", file=out)
+    print(format_table(["policy"] + list(PAPER_RATIOS), rows), file=out)
+    return 0
+
+
+def cmd_compare(args, out) -> int:
+    config = _config(args)
+    sweep = run_sweep(
+        {
+            name: (lambda n=name: make_workload(n, total_misses=args.work))
+            for name in args.workloads
+        },
+        policies=args.policies,
+        ratios=[args.ratio],
+        config=config,
+        seed=args.seed,
+    )
+    table = sweep.slowdown_table(args.ratio)
+    rows = [
+        [wname] + [f"{table[wname][p]:.3f}" for p in args.policies]
+        for wname in args.workloads
+    ]
+    print(f"slowdown vs DRAM-only at {args.ratio}:", file=out)
+    print(format_table(["workload"] + list(args.policies), rows), file=out)
+    return 0
+
+
+def cmd_calibrate(args, out) -> int:
+    corpus = generate_corpus(total_misses=2_000_000, misses_per_window=200_000)
+    coeff = calibrate_k(corpus, max_windows_each=args.windows, seed=args.seed)
+    config = MachineConfig()
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["fitted k (cycles)", f"{coeff.k_cycles:.1f}"],
+                ["slow-tier idle latency (cycles)", f"{config.slow_spec.latency_cycles:.1f}"],
+                ["calibration workloads", len(corpus)],
+            ],
+        ),
+        file=out,
+    )
+    return 0
+
+
+def cmd_list(args, out) -> int:  # noqa: ARG001
+    print("workloads: " + ", ".join(ALL_WORKLOADS), file=out)
+    print("policies:  " + ", ".join(ALL_POLICIES + ["Frequency", "CXL"]), file=out)
+    print("ratios:    " + ", ".join(PAPER_RATIOS), file=out)
+    return 0
+
+
+_COMMANDS = {
+    "run": cmd_run,
+    "sweep": cmd_sweep,
+    "compare": cmd_compare,
+    "calibrate": cmd_calibrate,
+    "list": cmd_list,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""Terminal charts: sparklines and bar charts for bench reports.
+
+Keeps figure-shaped bench output human-scannable without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line unicode sparkline of a numeric series."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return _SPARK_LEVELS[0] * len(vals)
+    span = hi - lo
+    out = []
+    for v in vals:
+        idx = int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[idx])
+    return "".join(out)
+
+
+def bar_chart(data: Dict[str, float], width: int = 40, unit: str = "") -> str:
+    """Horizontal ASCII bar chart, one labelled row per entry."""
+    if not data:
+        return ""
+    label_w = max(len(k) for k in data)
+    peak = max(abs(v) for v in data.values()) or 1.0
+    lines = []
+    for key, value in data.items():
+        bar = "#" * max(int(abs(value) / peak * width), 1 if value else 0)
+        suffix = f" {value:.3f}{unit}"
+        lines.append(f"{key.ljust(label_w)} | {bar}{suffix}")
+    return "\n".join(lines)
+
+
+def series_with_sparkline(label: str, values: Sequence[float]) -> str:
+    """A one-line series summary: label, sparkline, min/max."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return f"{label}: (empty)"
+    return (
+        f"{label}: {sparkline(vals)}  "
+        f"[min {min(vals):.3g}, max {max(vals):.3g}, n={len(vals)}]"
+    )

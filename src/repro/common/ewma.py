@@ -1,0 +1,40 @@
+"""Exponentially-weighted moving averages.
+
+Used by baseline policies (Memtis-style cooling, Colloid latency
+smoothing) and by PACT's optional cooling mechanism (§4.3.4).
+"""
+
+from __future__ import annotations
+
+
+class Ewma:
+    """Scalar EWMA: ``value <- (1 - alpha) * value + alpha * sample``."""
+
+    def __init__(self, alpha: float, initial: float = 0.0):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._value = float(initial)
+        self._primed = False
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    @property
+    def primed(self) -> bool:
+        """True once at least one sample has been folded in."""
+        return self._primed
+
+    def update(self, sample: float) -> float:
+        """Fold one sample in and return the new smoothed value."""
+        if not self._primed:
+            self._value = float(sample)
+            self._primed = True
+        else:
+            self._value += self.alpha * (float(sample) - self._value)
+        return self._value
+
+    def reset(self, initial: float = 0.0) -> None:
+        self._value = float(initial)
+        self._primed = False

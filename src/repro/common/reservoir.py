@@ -1,0 +1,72 @@
+"""Reservoir sampling (Vitter's Algorithm R).
+
+PACT uses a fixed-size reservoir of PAC values to estimate the quartiles
+that feed the Freedman-Diaconis bin-width rule (§4.5, Algorithm 3).  The
+reservoir keeps a uniform sample of all values observed so far without
+knowing the stream length in advance: the first ``k`` observations fill
+the buffer, after which observation ``n`` replaces a random slot with
+probability ``k / n``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+
+class Reservoir:
+    """Fixed-capacity uniform sample over an unbounded stream of floats."""
+
+    def __init__(self, capacity: int = 100, rng: Optional[np.random.Generator] = None):
+        if capacity <= 0:
+            raise ValueError("reservoir capacity must be positive")
+        self.capacity = capacity
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._buffer: List[float] = []
+        self._seen = 0
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def seen(self) -> int:
+        """Total number of observations offered to the reservoir."""
+        return self._seen
+
+    @property
+    def full(self) -> bool:
+        return len(self._buffer) >= self.capacity
+
+    def offer(self, value: float) -> bool:
+        """Offer one observation; return True if it entered the buffer."""
+        self._seen += 1
+        if len(self._buffer) < self.capacity:
+            self._buffer.append(float(value))
+            return True
+        # Algorithm 3, lines 4-6: replace slot rnd if rnd < capacity.
+        slot = int(self._rng.integers(0, self._seen))
+        if slot < self.capacity:
+            self._buffer[slot] = float(value)
+            return True
+        return False
+
+    def offer_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.offer(value)
+
+    def values(self) -> np.ndarray:
+        """Copy of the current sample."""
+        return np.asarray(self._buffer, dtype=float)
+
+    def quartiles(self) -> "tuple[float, float]":
+        """(Q1, Q3) of the current sample; (0, 0) when empty."""
+        if not self._buffer:
+            return (0.0, 0.0)
+        q1, q3 = np.percentile(self._buffer, [25.0, 75.0])
+        return float(q1), float(q3)
+
+    def clear(self) -> None:
+        """Drop the sample and the stream counter."""
+        self._buffer.clear()
+        self._seen = 0

@@ -1,0 +1,114 @@
+"""Small statistics helpers shared across the library.
+
+These are deliberately dependency-light (numpy only) so that the core
+policies do not require scipy at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def pearson(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson correlation coefficient of two equal-length samples.
+
+    Returns 0.0 for degenerate inputs (fewer than two points or zero
+    variance) rather than raising, since the model-fit benches feed it
+    arbitrary workload populations.
+    """
+    ax = np.asarray(x, dtype=float)
+    ay = np.asarray(y, dtype=float)
+    if ax.size != ay.size:
+        raise ValueError("pearson() requires equal-length samples")
+    if ax.size < 2:
+        return 0.0
+    sx = ax.std()
+    sy = ay.std()
+    if sx == 0.0 or sy == 0.0:
+        return 0.0
+    return float(((ax - ax.mean()) * (ay - ay.mean())).mean() / (sx * sy))
+
+
+def quartiles(values: Sequence[float]) -> "tuple[float, float]":
+    """Return (Q1, Q3) of ``values`` using linear interpolation."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return (0.0, 0.0)
+    q1, q3 = np.percentile(arr, [25.0, 75.0])
+    return float(q1), float(q3)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; values must be positive."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return 0.0
+    if np.any(arr <= 0):
+        raise ValueError("geometric_mean() requires positive values")
+    return float(np.exp(np.log(arr).mean()))
+
+
+def cdf_points(values: Sequence[float]) -> "tuple[np.ndarray, np.ndarray]":
+    """Empirical CDF of ``values`` as (sorted values, cumulative fraction)."""
+    arr = np.sort(np.asarray(values, dtype=float))
+    if arr.size == 0:
+        return arr, arr
+    frac = np.arange(1, arr.size + 1, dtype=float) / arr.size
+    return arr, frac
+
+
+@dataclass
+class StreamingStats:
+    """Online mean/variance/min/max via Welford's algorithm."""
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+    min: float = field(default=float("inf"))
+    max: float = field(default=float("-inf"))
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the running moments."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def add_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(float(value))
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the observations seen so far."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def std(self) -> float:
+        return self.variance**0.5
+
+    def merge(self, other: "StreamingStats") -> "StreamingStats":
+        """Return a new ``StreamingStats`` combining two streams."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            return other
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        merged = StreamingStats(
+            count=total,
+            mean=self.mean + delta * other.count / total,
+            min=min(self.min, other.min),
+            max=max(self.max, other.max),
+        )
+        merged._m2 = self._m2 + other._m2 + delta**2 * self.count * other.count / total
+        return merged

@@ -1,0 +1,27 @@
+"""PACT core: PAC model, sampling, tracking, binning, migration policy."""
+
+from repro.core.binning import AdaptiveBinner
+from repro.core.calibration import CalibrationPoint, calibrate_k, collect_points
+from repro.core.cooling import CoolingConfig, DEFAULT_DISTANCE_THRESHOLD
+from repro.core.pac import PacModelCoefficients, attribute_stalls, fit_k
+from repro.core.pact import FrequencyPolicy, PactPolicy
+from repro.core.policy import MigrationPlanner
+from repro.core.sampling import PacSampler
+from repro.core.tracker import PacTracker
+
+__all__ = [
+    "AdaptiveBinner",
+    "CalibrationPoint",
+    "CoolingConfig",
+    "DEFAULT_DISTANCE_THRESHOLD",
+    "FrequencyPolicy",
+    "MigrationPlanner",
+    "PacModelCoefficients",
+    "PacSampler",
+    "PacTracker",
+    "PactPolicy",
+    "attribute_stalls",
+    "calibrate_k",
+    "collect_points",
+    "fit_k",
+]

@@ -1,0 +1,66 @@
+"""PAC cooling mechanisms (§4.3.4, §5.7).
+
+Cooling is deliberately *not* a primary design element of PACT: because
+PAC distributions are skewed, newly critical pages rise into the top
+bins without explicit decay, and the evaluation shows cooling rarely
+helps.  Two mechanisms are still provided for the sensitivity study:
+
+* **EWMA-style alpha** (Algorithm 1 line 8): old PAC is multiplied by
+  ``alpha`` on every update of a page.  ``alpha = 1.0`` (pure
+  accumulation) is the default.
+* **Distance-based in-place cooling**: a page whose last sample is more
+  than ``distance_threshold`` global samples ago has its PAC multiplied
+  by ``distance_factor`` (0.5 = halve, 0.0 = reset to zero).  Unlike
+  global rescans, this costs O(stale pages) per trigger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.tracker import PacTracker
+
+#: Default sample-distance before in-place cooling triggers (§5.7).
+DEFAULT_DISTANCE_THRESHOLD = 200_000
+
+
+@dataclass(frozen=True)
+class CoolingConfig:
+    """Cooling parameters; the default disables both mechanisms."""
+
+    #: Algorithm-1 decay applied to old PAC on each page update.
+    alpha: float = 1.0
+    #: Enable distance-based in-place cooling when set.
+    distance_threshold: Optional[int] = None
+    #: Multiplier applied to stale pages (0.5 = halve, 0.0 = reset).
+    distance_factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        if not 0.0 <= self.distance_factor <= 1.0:
+            raise ValueError("distance_factor must be in [0, 1]")
+        if self.distance_threshold is not None and self.distance_threshold <= 0:
+            raise ValueError("distance_threshold must be positive")
+
+    @staticmethod
+    def none() -> "CoolingConfig":
+        """The paper's default: pure accumulation, no cooling."""
+        return CoolingConfig()
+
+    @staticmethod
+    def halving(threshold: int = DEFAULT_DISTANCE_THRESHOLD) -> "CoolingConfig":
+        """Distance-triggered halving (the 'decay by 2' variant)."""
+        return CoolingConfig(distance_threshold=threshold, distance_factor=0.5)
+
+    @staticmethod
+    def reset(threshold: int = DEFAULT_DISTANCE_THRESHOLD) -> "CoolingConfig":
+        """Distance-triggered reset-to-zero (full recency emphasis)."""
+        return CoolingConfig(distance_threshold=threshold, distance_factor=0.0)
+
+    def apply_distance_cooling(self, tracker: PacTracker) -> int:
+        """Run the in-place pass if configured; returns pages cooled."""
+        if self.distance_threshold is None:
+            return 0
+        return tracker.cool_distant(self.distance_threshold, self.distance_factor)

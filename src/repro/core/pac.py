@@ -1,0 +1,85 @@
+"""The PAC model: per-tier stall estimation from counters (Equation 1).
+
+    LLC-stalls = k * LLC-misses / MLP
+
+where ``k`` is a per-tier coefficient capturing memory latency, memory
+controller queueing, and architectural constants (§4.2).  The paper
+validates this form across 96 workloads and three latency
+configurations with Pearson correlation above 0.98.
+
+``k`` is fitted once per hardware configuration (a least-squares line
+through the origin over (misses/MLP, stalls) points from a calibration
+run); :mod:`repro.core.calibration` provides that fit.  A sensible
+default -- the tier's unloaded latency in cycles -- is used when no
+calibration has been run, since PAC only needs *relative* page ordering
+within a tier and ``k`` scales all PAC values equally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.common.units import TierSpec
+
+
+@dataclass(frozen=True)
+class PacModelCoefficients:
+    """Fitted Equation-1 coefficient for one memory tier."""
+
+    k_cycles: float
+
+    def tier_stalls(self, llc_misses: float, mlp: float) -> float:
+        """Estimated stall cycles for an observation interval (Eq. 1)."""
+        if mlp <= 0:
+            raise ValueError("MLP must be positive")
+        return self.k_cycles * llc_misses / mlp
+
+    @staticmethod
+    def default_for(spec: TierSpec) -> "PacModelCoefficients":
+        """Uncalibrated default: the tier's idle latency in cycles."""
+        return PacModelCoefficients(k_cycles=spec.latency_cycles)
+
+
+def fit_k(misses_over_mlp: Sequence[float], stalls: Sequence[float]) -> float:
+    """Least-squares slope through the origin for Equation 1.
+
+    Given calibration observations ``x_i = misses_i / mlp_i`` and
+    measured stalls ``y_i``, the best ``k`` minimising ``sum (y - kx)^2``
+    is ``sum(xy) / sum(x^2)``.
+    """
+    x = np.asarray(misses_over_mlp, dtype=float)
+    y = np.asarray(stalls, dtype=float)
+    if x.size != y.size:
+        raise ValueError("calibration samples must align")
+    denom = float((x * x).sum())
+    if denom <= 0.0:
+        raise ValueError("calibration requires nonzero miss traffic")
+    return float((x * y).sum() / denom)
+
+
+def attribute_stalls(
+    total_stalls: float,
+    access_counts: np.ndarray,
+    latencies: np.ndarray = None,
+) -> np.ndarray:
+    """Distribute tier stalls across sampled pages (Algorithm 1, line 7).
+
+    Proportional attribution by default: ``S_p = S * A_p / A_t``.  With
+    per-page sampled latencies (Sapphire-Rapids-style PEBS latency
+    reporting, §4.3.7) attribution is latency-weighted:
+    ``S_p = S * A_p l_p / sum_i A_i l_i``.
+    """
+    counts = np.asarray(access_counts, dtype=float)
+    if counts.size == 0:
+        return counts
+    if latencies is not None:
+        weights = counts * np.asarray(latencies, dtype=float)
+    else:
+        weights = counts
+    total_weight = weights.sum()
+    if total_weight <= 0.0:
+        return np.zeros_like(counts)
+    return total_stalls * weights / total_weight

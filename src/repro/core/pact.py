@@ -1,0 +1,264 @@
+"""PACT: the criticality-first tiered memory policy (§4).
+
+Ties the pieces together into a :class:`repro.sim.policy_api.TieringPolicy`:
+
+* :class:`~repro.core.sampling.PacSampler` -- Algorithm 1 PAC profiling
+  from PEBS samples plus TOR/perf counter deltas,
+* :class:`~repro.core.tracker.PacTracker` -- per-page PAC state,
+* :class:`~repro.core.binning.AdaptiveBinner` -- Algorithm 3 reservoir +
+  Freedman-Diaconis + scaling candidate selection,
+* :class:`~repro.core.policy.MigrationPlanner` -- Algorithm 2 eager
+  demotion and immediate top-bin promotion.
+
+PACT migrates in the background (two dedicated threads in the kernel
+prototype, §4.6), so only an interference fraction of migration cost
+lands on the application's critical path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.binning import AdaptiveBinner
+from repro.core.cooling import CoolingConfig
+from repro.core.pac import PacModelCoefficients
+from repro.core.policy import MigrationPlanner
+from repro.core.sampling import PacSampler
+from repro.core.tracker import PacTracker
+from repro.mem.page import Tier
+from repro.sim.policy_api import Decision, Observation, TieringPolicy
+
+
+class PactPolicy(TieringPolicy):
+    """The full PACT system as a pluggable tiering policy."""
+
+    name = "PACT"
+    synchronous_migration = False  # background migration thread (§4.6)
+
+    def __init__(
+        self,
+        metric: str = "pac",
+        period_windows: int = 1,
+        m: int = 0,
+        num_bins: int = 20,
+        reservoir_size: int = 100,
+        t_scale: float = 50.0,
+        cooling: Optional[CoolingConfig] = None,
+        adaptive_binning: bool = True,
+        scaling: bool = True,
+        latency_weighted: bool = False,
+        coefficients: Optional[PacModelCoefficients] = None,
+        promotion_cooldown_windows: int = 20,
+        mlp_source: str = "tor",
+        access_sampler: str = "pebs",
+        seed: int = 42,
+    ):
+        if metric not in ("pac", "frequency"):
+            raise ValueError("metric must be 'pac' or 'frequency'")
+        if access_sampler not in ("pebs", "chmu"):
+            raise ValueError("access_sampler must be 'pebs' or 'chmu'")
+        self.metric = metric
+        #: "tor" (Intel CHA/TOR counters) or "littles_law" (the AMD
+        #: portability path of §4.2.2 -- latency x bandwidth / 64B).
+        self.mlp_source = mlp_source
+        #: "pebs" host sampling or "chmu" controller-side counting
+        #: (CXL 3.2 Hotness Monitoring Unit, §4.3.5).
+        self.access_sampler = access_sampler
+        self.period_windows = period_windows
+        self.m = m
+        self.num_bins = num_bins
+        self.reservoir_size = reservoir_size
+        self.t_scale = t_scale
+        self.cooling = cooling if cooling is not None else CoolingConfig.none()
+        self.adaptive_binning = adaptive_binning
+        self.scaling = scaling
+        self.latency_weighted = latency_weighted
+        self.wants_pebs_latency = latency_weighted
+        self._coefficients = coefficients
+        #: A page promoted once is not re-promoted for this many windows
+        #: if it gets demoted again -- bounds promotion/demotion cycling
+        #: when PAC accumulation races placement.
+        self.promotion_cooldown_windows = promotion_cooldown_windows
+        self._seed = seed
+        # Built at attach time (they need the footprint / tier specs).
+        self.tracker: Optional[PacTracker] = None
+        self.sampler: Optional[PacSampler] = None
+        self.binner: Optional[AdaptiveBinner] = None
+        self.planner: Optional[MigrationPlanner] = None
+        self._last_candidate_count = 0
+        self._last_top_occupancy = 0
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def attach(self, machine) -> None:
+        coefficients = self._coefficients
+        if coefficients is None:
+            coefficients = PacModelCoefficients.default_for(machine.config.slow_spec)
+        self.tracker = PacTracker(machine.workload.footprint_pages)
+        self.sampler = PacSampler(
+            tracker=self.tracker,
+            coefficients=coefficients,
+            cooling=self.cooling,
+            period_windows=self.period_windows,
+            latency_weighted=self.latency_weighted,
+            mlp_source=self.mlp_source,
+            slow_latency_ns=machine.config.slow_spec.latency_ns,
+            freq_ghz=machine.config.freq_ghz,
+        )
+        self.binner = AdaptiveBinner(
+            num_bins=self.num_bins,
+            reservoir_size=self.reservoir_size,
+            t_scale=self.t_scale,
+            adaptive=self.adaptive_binning,
+            scaling=self.scaling,
+            rng=np.random.default_rng(self._seed),
+        )
+        self.planner = MigrationPlanner(m=self.m)
+        self._thp = machine.config.thp
+        self.planner.unit_pages = 512 if self._thp else 1
+        self._last_candidate_count = 0
+        self._last_top_occupancy = 0
+        self._promoted_at = np.full(machine.workload.footprint_pages, -(10**9), dtype=np.int64)
+        self._current_window = 0
+        self._cold_fraction = machine.config.cold_activity_fraction
+        self._eviction_bar = 0.0
+        self._bar_margin = 1.25
+
+    # -- per-window policy -------------------------------------------------------------
+
+    def observe(self, obs: Observation) -> Decision:
+        period_complete = self.sampler.ingest(obs)
+        if not period_complete:
+            return Decision.none()
+        candidates = self._select_candidates(obs)
+        return self.planner.plan(candidates, obs)
+
+    def _select_candidates(self, obs: Observation) -> np.ndarray:
+        """Adaptive promotion: pages in the highest-priority bin that are
+        currently resident in the slow tier (§4.5).
+
+        The scaling feedback targets *top-bin occupancy* over all
+        tracked pages (already-promoted pages keep their accumulated PAC
+        and anchor the bin): a slow page is promoted only when its PAC
+        genuinely climbs into the top bin, not because the policy must
+        manufacture a steady candidate stream.
+        """
+        tracked = self.tracker.tracked_pages()
+        if tracked.size == 0:
+            return np.empty(0, dtype=np.int64)
+        values = self.tracker.values_for(tracked, metric=self.metric)
+        self.binner.observe(
+            values, n_tracked=tracked.size, n_candidates=max(self._last_top_occupancy, 1)
+        )
+        top_mask = self.binner.top_bin_mask(values)
+        self._last_top_occupancy = int(top_mask.sum())
+        in_slow = obs.memory.tier_of(tracked) == int(Tier.SLOW)
+        cooled_down = (
+            obs.window - self._promoted_at[tracked] > self.promotion_cooldown_windows
+        )
+        eligible = in_slow & cooled_down
+        if self._eviction_bar > 0.0:
+            # Swap profitability: promoting a page whose criticality is
+            # no higher than what eager demotion is currently evicting
+            # just rotates interchangeable pages.  The bar tracks the
+            # value of recent demotion victims; candidates must beat it.
+            eligible &= values > self._eviction_bar * self._bar_margin
+        self._current_window = obs.window
+
+        # Algorithm 2 keeps pulling pages while B_priority is non-empty:
+        # once the top bin's slow pages promote, the next bin becomes the
+        # highest non-empty one.  Equivalent batched form: take the top
+        # bin, then extend down the PAC ranking while reclaimable
+        # fast-tier space remains this window.  The extension is part of
+        # the scaling optimisation ('+Both', §4.5): without it,
+        # promotion supply depends entirely on the histogram width and
+        # becomes erratic under skew -- exactly the instability the
+        # paper's breakdown study demonstrates.
+        core = int((top_mask & eligible).sum())
+        cap = self._window_promotion_cap(obs)
+        if self.scaling:
+            # The scaling optimisation stabilises candidate supply: offer
+            # up to the per-window cap from the PAC ranking.  Actual
+            # promotions stay profitable because eligibility already
+            # requires beating the eviction bar (and the cooldown).
+            want = cap
+        else:
+            want = core
+        # §4.5: the highest-priority bin supplies a *bounded* stream of
+        # candidates -- no sudden migration storms even when the width
+        # adaptation transiently degenerates (uniform PAC, cold start).
+        want = min(want, cap)
+        elig_pages = tracked[eligible]
+        elig_values = values[eligible]
+        if elig_pages.size == 0 or want <= 0:
+            self._last_candidate_count = 0
+            return np.empty(0, dtype=np.int64)
+        order = np.argsort(elig_values)[::-1]
+        ranked = elig_pages[order]
+        if self._thp:
+            # Migration moves whole 2MB regions: keep one representative
+            # (the highest-PAC page) per huge page and budget in units.
+            huge = ranked >> 9
+            _, first = np.unique(huge, return_index=True)
+            ranked = ranked[np.sort(first)]
+            want = max(want // 512, 1)
+        candidates = ranked[:want]
+        self._last_candidate_count = int(candidates.size)
+        return candidates
+
+    def _space_budget(self, obs: Observation) -> int:
+        """Fast-tier pages obtainable this window: free space plus pages
+        the kernel's LRU would classify as inactive (demotable)."""
+        memory = obs.memory
+        free_now = memory.free_pages(Tier.FAST)
+        threshold = self._cold_fraction * memory.mean_activity(Tier.FAST)
+        fast_pages = memory.pages_in_tier(Tier.FAST)
+        cold = int((memory.activity[fast_pages] <= threshold).sum())
+        return free_now + cold
+
+    def _window_promotion_cap(self, obs: Observation) -> int:
+        """Per-window migration bound: a few percent of the fast tier
+        (with a floor for tiny configurations), keeping promotion bursts
+        spread over multiple windows."""
+        return max(int(0.08 * obs.memory.capacity[Tier.FAST]), 64)
+
+    def on_migration(self, outcome) -> None:
+        """Stamp the cooldown clock and update the swap-profitability bar."""
+        if outcome.promoted_pages.size:
+            self._promoted_at[outcome.promoted_pages] = self._current_window
+        if outcome.demoted_pages.size and self.tracker is not None:
+            victim_values = self.tracker.values_for(outcome.demoted_pages, metric=self.metric)
+            bar_sample = float(np.quantile(victim_values, 0.9))
+            self._eviction_bar += 0.2 * (bar_sample - self._eviction_bar)
+
+    # -- introspection -------------------------------------------------------------------
+
+    def debug_info(self) -> Dict[str, float]:
+        info: Dict[str, float] = {
+            "candidates": float(self._last_candidate_count),
+            "tracked": float(len(self.tracker)) if self.tracker else 0.0,
+        }
+        if self.binner is not None:
+            info.update(self.binner.debug_info())
+        if self.sampler is not None:
+            info["est_slow_stalls"] = self.sampler.last_stall_estimate
+            info["est_slow_mlp"] = self.sampler.last_mlp
+        return info
+
+
+class FrequencyPolicy(PactPolicy):
+    """The §5.6 ablation: PACT's framework, ranking by access frequency.
+
+    Everything -- sampling, binning, eager demotion -- is identical;
+    only the per-page metric fed to the binner changes from accumulated
+    PAC to accumulated PEBS access counts, mirroring conventional
+    hotness-based selection.
+    """
+
+    name = "Frequency"
+
+    def __init__(self, **kwargs):
+        kwargs["metric"] = "frequency"
+        super().__init__(**kwargs)

@@ -1,0 +1,110 @@
+"""PAC tracking state: per-page accumulated criticality and metadata.
+
+The kernel prototype keeps a hash table of 25-byte records per tracked
+4KB page (§4.3.6, §4.6) for constant-time insert/lookup.  The simulator
+knows the footprint up front, so the same semantics are provided by
+dense numpy arrays indexed by page id (functionally a perfect hash);
+the public API mirrors hash-table usage: pages enter tracking on first
+sample, can be dropped, and can be enumerated.
+
+Each tracked page records:
+
+* accumulated PAC (stall cycles attributed, Algorithm 1 line 8),
+* accumulated access frequency (PEBS record counts -- kept both as PAC
+  metadata and to drive the frequency-only ablation policy of §5.6),
+* the global sample counter at its last update (for distance-based
+  in-place cooling, §5.7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class PacTracker:
+    """Per-page PAC accumulation over a fixed footprint."""
+
+    def __init__(self, footprint_pages: int):
+        if footprint_pages <= 0:
+            raise ValueError("footprint must be positive")
+        self.footprint_pages = footprint_pages
+        self.pac = np.zeros(footprint_pages, dtype=float)
+        self.frequency = np.zeros(footprint_pages, dtype=float)
+        self.tracked = np.zeros(footprint_pages, dtype=bool)
+        self.last_sample_counter = np.zeros(footprint_pages, dtype=np.int64)
+        #: Global PEBS-record counter (drives distance-based cooling).
+        self.sample_counter = 0
+
+    def __len__(self) -> int:
+        return int(self.tracked.sum())
+
+    # -- updates -----------------------------------------------------------------
+
+    def update(
+        self,
+        pages: np.ndarray,
+        attributed_stalls: np.ndarray,
+        access_counts: np.ndarray,
+        alpha: float = 1.0,
+    ) -> None:
+        """Fold one window's attribution into the tracked state.
+
+        ``alpha`` is the Algorithm-1 cooling factor applied to the old
+        PAC before adding the new contribution: 1.0 = pure accumulation
+        (the paper's robust default), smaller values emphasise recency.
+        """
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        pages = np.asarray(pages, dtype=np.int64)
+        if pages.size == 0:
+            return
+        self.pac[pages] = alpha * self.pac[pages] + np.asarray(attributed_stalls, dtype=float)
+        self.frequency[pages] += np.asarray(access_counts, dtype=float)
+        self.tracked[pages] = True
+        self.sample_counter += int(np.asarray(access_counts).sum())
+        self.last_sample_counter[pages] = self.sample_counter
+
+    def cool_distant(self, distance_threshold: int, factor: float) -> int:
+        """In-place cooling (§5.7): decay pages not sampled recently.
+
+        Pages whose last capture is more than ``distance_threshold``
+        samples behind the global counter have their PAC multiplied by
+        ``factor`` (0.5 = halve, 0.0 = reset).  Returns pages cooled.
+        """
+        if distance_threshold <= 0:
+            raise ValueError("distance threshold must be positive")
+        stale = self.tracked & (
+            self.sample_counter - self.last_sample_counter > distance_threshold
+        )
+        count = int(stale.sum())
+        if count:
+            self.pac[stale] *= factor
+            # Re-stamp so a page is cooled once per staleness episode.
+            self.last_sample_counter[stale] = self.sample_counter
+        return count
+
+    def drop(self, pages: np.ndarray) -> None:
+        """Forget pages entirely (hash-table deletion)."""
+        pages = np.asarray(pages, dtype=np.int64)
+        self.pac[pages] = 0.0
+        self.frequency[pages] = 0.0
+        self.tracked[pages] = False
+        self.last_sample_counter[pages] = 0
+
+    # -- queries -----------------------------------------------------------------
+
+    def tracked_pages(self) -> np.ndarray:
+        return np.flatnonzero(self.tracked).astype(np.int64)
+
+    def values_for(self, pages: np.ndarray, metric: str = "pac") -> np.ndarray:
+        """Per-page metric values; ``metric`` is 'pac' or 'frequency'."""
+        pages = np.asarray(pages, dtype=np.int64)
+        if metric == "pac":
+            return self.pac[pages]
+        if metric == "frequency":
+            return self.frequency[pages]
+        raise ValueError("metric must be 'pac' or 'frequency'")
+
+    def memory_overhead_bytes(self, bytes_per_record: int = 25) -> int:
+        """Tracking overhead at the prototype's 25 B/page record (§4.6)."""
+        return len(self) * bytes_per_record

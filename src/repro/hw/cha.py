@@ -1,0 +1,99 @@
+"""CHA/TOR occupancy counters and MLP estimation helpers.
+
+Intel's Caching-and-Home-Agent sits between the cores and each memory
+tier; its Table-Of-Requests (TOR) tracks outstanding offcore requests.
+The paper's key observation (§4.2.2, Takeaway #3) is that two uncore
+counters recover *per-tier* MLP:
+
+* ``T1 = TOR_OCCUPANCY``          -- integral of in-flight entries over cycles,
+* ``T2 = TOR_OCCUPANCY_COUNTER0`` -- cycles with at least one entry,
+
+so ``MLP = dT1 / dT2`` is the average number of in-flight requests per
+active cycle.
+
+In the simulator, each request occupies a TOR entry for its effective
+latency, so a share of ``m`` misses at latency ``L`` and parallelism
+``mlp`` contributes ``m * L`` occupancy-cycles and ``m * L / mlp`` busy
+cycles.  Multiplicative measurement noise is applied so the estimation
+pipeline downstream is exercised with realistic counter jitter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.common.units import CACHE_LINE_SIZE
+from repro.hw.stall import GroupTierShare
+from repro.mem.page import Tier
+
+#: Default relative standard deviation of counter measurement noise.
+DEFAULT_COUNTER_NOISE = 0.01
+
+
+@dataclass
+class TorSnapshot:
+    """Cumulative (T1, T2) values per tier at one instant."""
+
+    occupancy: Dict[Tier, float]
+    busy_cycles: Dict[Tier, float]
+
+    def mlp_since(self, earlier: "TorSnapshot", tier: Tier) -> float:
+        """Per-tier MLP from counter deltas (Algorithm 1, line 1)."""
+        d_occ = self.occupancy[tier] - earlier.occupancy[tier]
+        d_busy = self.busy_cycles[tier] - earlier.busy_cycles[tier]
+        if d_busy <= 0.0:
+            return 1.0
+        return max(d_occ / d_busy, 1.0)
+
+
+class ChaTorCounters:
+    """Cumulative TOR occupancy counters for both tiers."""
+
+    def __init__(
+        self,
+        noise: float = DEFAULT_COUNTER_NOISE,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.noise = noise
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._occupancy = {Tier.FAST: 0.0, Tier.SLOW: 0.0}
+        self._busy = {Tier.FAST: 0.0, Tier.SLOW: 0.0}
+
+    def advance(self, shares: Sequence[GroupTierShare]) -> None:
+        """Account one window's traffic into the cumulative counters."""
+        for share in shares:
+            occ = share.misses * _share_latency(share)
+            busy = occ / share.mlp
+            self._occupancy[share.tier] += occ * self._jitter()
+            self._busy[share.tier] += busy * self._jitter()
+
+    def read(self) -> TorSnapshot:
+        """Snapshot the cumulative counters (as perf would read them)."""
+        return TorSnapshot(occupancy=dict(self._occupancy), busy_cycles=dict(self._busy))
+
+    def _jitter(self) -> float:
+        if self.noise <= 0.0:
+            return 1.0
+        return float(np.exp(self._rng.normal(0.0, self.noise)))
+
+
+def littles_law_mlp(bytes_on_link: float, latency_ns: float, duration_ns: float) -> float:
+    """AMD-path MLP estimate: ``MLP ~ latency * bandwidth / 64B`` (§4.2.2).
+
+    This applies Little's Law to the link: in-flight lines = arrival rate
+    (lines/ns) * latency (ns).  It *overestimates* demand MLP because
+    ``bytes_on_link`` includes prefetch traffic -- the same bias the
+    paper shows for the gray line of Figure 3.
+    """
+    if duration_ns <= 0.0:
+        return 1.0
+    lines_per_ns = bytes_on_link / CACHE_LINE_SIZE / duration_ns
+    return max(lines_per_ns * latency_ns, 1.0)
+
+
+def _share_latency(share: GroupTierShare) -> float:
+    """Effective per-request latency in cycles for a solved share."""
+    return share.unit_stall_cycles * share.mlp

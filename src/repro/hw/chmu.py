@@ -1,0 +1,96 @@
+"""CHMU: a CXL 3.2 Hotness Monitoring Unit access-sampling backend.
+
+§4.3.5 notes PACT is not bound to PEBS: the CXL Hotness Monitoring Unit
+introduced in CXL 3.2 tracks page accesses *inside the memory
+controller* and periodically reports a hotlist.  Compared to PEBS:
+
+* counts are exact (the controller sees every access) rather than
+  1-in-N sampled,
+* there is no per-record CPU processing cost -- readout is one cheap
+  epoch-boundary drain of the top-K list,
+* reporting is epoch-granular: within an epoch the host learns nothing,
+  so reaction latency trades against readout overhead,
+* only the device's own tier is visible (the slow tier -- exactly the
+  one PACT samples).
+
+The sampler below models a counter array with a bounded hotlist: every
+window it accumulates true per-page access counts; at each epoch
+boundary it emits the top-``hotlist_size`` pages as a
+:class:`repro.hw.pebs.PebsBatch` with ``rate=1`` (exact counts), then
+clears the epoch counters.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.hw.pebs import PebsBatch
+from repro.hw.stall import GroupTierShare
+from repro.mem.page import Tier
+
+#: Cycles to drain the hotlist at an epoch boundary (MMIO reads).
+DEFAULT_READOUT_CYCLES = 20_000.0
+
+
+class ChmuSampler:
+    """Controller-side per-page access counting with epoch hotlists."""
+
+    def __init__(
+        self,
+        footprint_pages: int,
+        hotlist_size: int = 2_048,
+        epoch_windows: int = 1,
+        readout_cycles: float = DEFAULT_READOUT_CYCLES,
+        tier: Tier = Tier.SLOW,
+    ):
+        if hotlist_size <= 0:
+            raise ValueError("hotlist must hold at least one entry")
+        if epoch_windows < 1:
+            raise ValueError("epoch must span at least one window")
+        self.hotlist_size = hotlist_size
+        self.epoch_windows = epoch_windows
+        self.readout_cycles = readout_cycles
+        self.tier = tier
+        self._counts = np.zeros(footprint_pages, dtype=np.int64)
+        self._window_in_epoch = 0
+        self.rate = 1  # exact counts (PebsBatch-compatible attribute)
+
+    def sample(
+        self, shares: Sequence[GroupTierShare], tiers: "tuple[Tier, ...]" = (Tier.SLOW,)
+    ) -> PebsBatch:
+        """Accumulate one window; emit the hotlist at epoch boundaries.
+
+        Drop-in replacement for :meth:`repro.hw.pebs.PebsSampler.sample`;
+        ``tiers`` beyond the device's own tier are ignored (a CHMU only
+        observes its own memory).
+        """
+        for share in shares:
+            if share.tier != self.tier:
+                continue
+            np.add.at(self._counts, share.pages, share.counts)
+        self._window_in_epoch += 1
+        if self._window_in_epoch < self.epoch_windows:
+            return PebsBatch.empty(rate=1)
+        self._window_in_epoch = 0
+        return self._drain()
+
+    def _drain(self) -> PebsBatch:
+        touched = np.flatnonzero(self._counts)
+        if touched.size == 0:
+            return PebsBatch.empty(rate=1)
+        if touched.size > self.hotlist_size:
+            counts = self._counts[touched]
+            keep = np.argpartition(counts, touched.size - self.hotlist_size)[
+                -self.hotlist_size :
+            ]
+            touched = touched[keep]
+        batch = PebsBatch(
+            pages=np.sort(touched),
+            counts=self._counts[np.sort(touched)],
+            rate=1,
+            overhead_cycles=self.readout_cycles,
+        )
+        self._counts[:] = 0
+        return batch

@@ -1,0 +1,144 @@
+"""PEBS-style sampled page-access observation.
+
+Intel PEBS delivers one record per N hardware events (here: slow-tier
+LLC-miss loads, event ``MEM_LOAD_L3_MISS_RETIRE``).  Over a 20 ms window
+this is statistically a binomial thinning of each page's true miss
+count, which is exactly how the sampler below draws its observations.
+
+The sampler also models the cost of consuming PEBS records (the
+dedicated processing thread of §4.6): each record costs a fixed number
+of cycles, so denser sampling (a lower ``rate``) buys accuracy with
+overhead -- the trade-off probed by the Figure 10a sensitivity study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.hw.stall import GroupTierShare
+from repro.mem.page import Tier
+
+#: Default PEBS sampling rate: one record per 400 qualifying events (§4.3.5).
+DEFAULT_PEBS_RATE = 400
+
+#: Cycles to process one PEBS record (copy out, hash-table update).
+DEFAULT_CYCLES_PER_RECORD = 150.0
+
+
+@dataclass
+class PebsBatch:
+    """Sampled page accesses from one window.
+
+    ``counts[i]`` is the number of PEBS records that hit ``pages[i]``;
+    multiply by the sampling rate to estimate true access counts.
+    ``latencies``, when present, carries the record-weighted mean
+    *exposed* load latency per page -- the per-load latency reporting
+    that Sapphire-Rapids-class PEBS/TPEBS adds (§4.3.7), used by the
+    latency-weighted attribution extension.
+    """
+
+    pages: np.ndarray
+    counts: np.ndarray
+    rate: int
+    overhead_cycles: float
+    latencies: Optional[np.ndarray] = None
+
+    @property
+    def total_records(self) -> int:
+        return int(self.counts.sum())
+
+    def estimated_accesses(self) -> np.ndarray:
+        """Per-page access estimates (records * rate)."""
+        return self.counts.astype(float) * self.rate
+
+    @staticmethod
+    def empty(rate: int) -> "PebsBatch":
+        return PebsBatch(
+            pages=np.empty(0, dtype=np.int64),
+            counts=np.empty(0, dtype=np.int64),
+            rate=rate,
+            overhead_cycles=0.0,
+        )
+
+
+class PebsSampler:
+    """Binomial 1-in-N thinning of per-page miss counts."""
+
+    def __init__(
+        self,
+        rate: int = DEFAULT_PEBS_RATE,
+        cycles_per_record: float = DEFAULT_CYCLES_PER_RECORD,
+        rng: Optional[np.random.Generator] = None,
+        loads_only: bool = True,
+        report_latency: bool = False,
+    ):
+        if rate < 1:
+            raise ValueError("PEBS rate must be >= 1")
+        self.rate = rate
+        self.cycles_per_record = cycles_per_record
+        self.loads_only = loads_only
+        #: Attach per-record exposed-latency reporting (TPEBS-style).
+        self.report_latency = report_latency
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def sample(
+        self, shares: Sequence[GroupTierShare], tiers: "tuple[Tier, ...]" = (Tier.SLOW,)
+    ) -> PebsBatch:
+        """Draw one window's PEBS records from the given tier(s).
+
+        PACT samples only slow-tier loads by default (§4.3.5): sampling
+        the fast tier as well would double PEBS overhead for little
+        policy value, since demotion candidates come from the LRU lists.
+        """
+        all_pages = []
+        all_records = []
+        all_latency = []
+        for share in shares:
+            if share.tier not in tiers:
+                continue
+            counts = share.counts
+            if self.loads_only:
+                # Thin writes out before the 1-in-N event sampling.
+                counts = self._rng.binomial(counts, _load_fraction(share))
+            records = self._rng.binomial(counts, 1.0 / self.rate)
+            hit = records > 0
+            if hit.any():
+                all_pages.append(share.pages[hit])
+                all_records.append(records[hit])
+                if self.report_latency:
+                    # Exposed latency per load = effective latency / MLP,
+                    # which is exactly the share's unit stall cost.
+                    all_latency.append(
+                        np.full(int(hit.sum()), share.unit_stall_cycles)
+                    )
+        if not all_pages:
+            return PebsBatch.empty(self.rate)
+        pages = np.concatenate(all_pages)
+        records = np.concatenate(all_records)
+        # The same page can appear in several groups; merge duplicates
+        # (record-weighted mean for latencies).
+        uniq, inverse = np.unique(pages, return_inverse=True)
+        merged = np.zeros(uniq.size, dtype=np.int64)
+        np.add.at(merged, inverse, records)
+        latencies = None
+        if self.report_latency:
+            lat = np.concatenate(all_latency)
+            weighted = np.zeros(uniq.size, dtype=float)
+            np.add.at(weighted, inverse, lat * records)
+            latencies = weighted / np.maximum(merged, 1)
+        total = int(merged.sum())
+        return PebsBatch(
+            pages=uniq,
+            counts=merged,
+            rate=self.rate,
+            overhead_cycles=total * self.cycles_per_record,
+            latencies=latencies,
+        )
+
+
+def _load_fraction(share: GroupTierShare) -> float:
+    """Fraction of a share's misses that are loads (PEBS-qualifying)."""
+    return share.load_fraction

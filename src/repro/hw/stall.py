@@ -1,0 +1,213 @@
+"""Ground-truth per-tier stall model with bandwidth contention.
+
+This is the simulator's stand-in for the out-of-order core: it turns the
+window's memory traffic into CPU stall cycles.  The model is the same
+physics the paper's Equation 1 captures --
+
+    stalls_t = misses_t * effective_latency_t / MLP
+
+-- applied per access group (so each pattern's own MLP amortises its own
+latency), with effective latency inflated by bandwidth contention via an
+M/M/1-style queueing factor.  The window duration and the contention
+level are mutually dependent (utilisation = bytes / (duration * BW)), so
+the model solves the fixed point with a few damped iterations.
+
+Note the deliberate architecture: policies never see this module's
+outputs directly.  They observe only the counters derived from it
+(:mod:`repro.hw.cha`, :mod:`repro.hw.perf`) plus PEBS samples, so PACT's
+Equation-1 *estimator* is exercised as a genuinely separate code path
+that the tests validate against this ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.common.units import CACHE_LINE_SIZE, CPU_FREQ_GHZ, TierSpec, ns_to_cycles
+from repro.hw.access import AccessGroup
+from repro.mem.page import Tier
+
+#: Demand-miss traffic is accompanied by prefetch traffic; this factor
+#: scales miss bytes to total bytes on the memory link.
+DEFAULT_PREFETCH_TRAFFIC_FACTOR = 0.5
+
+#: Utilisation is capped below 1.0 so the queueing term stays finite
+#: even when contender traffic nominally oversubscribes the link.
+MAX_UTILISATION = 0.96
+
+#: Gain on the M/M/1 rho/(1-rho) latency inflation term.
+QUEUE_GAIN = 0.6
+
+_FIXED_POINT_ITERATIONS = 4
+
+
+@dataclass
+class GroupTierShare:
+    """One access group's traffic that landed in one tier."""
+
+    group_index: int
+    tier: Tier
+    pages: np.ndarray
+    counts: np.ndarray
+    mlp: float
+    load_fraction: float = 1.0
+    label: str = ""
+    #: Filled in by the solver: stall cycles per miss for this share.
+    unit_stall_cycles: float = 0.0
+
+    @property
+    def misses(self) -> int:
+        return int(self.counts.sum())
+
+    def stall_cycles(self) -> float:
+        return self.misses * self.unit_stall_cycles
+
+    def per_page_stalls(self) -> np.ndarray:
+        """Ground-truth stall cycles attributed to each page of the share."""
+        return self.counts.astype(float) * self.unit_stall_cycles
+
+
+@dataclass
+class TierLoad:
+    """Aggregate per-tier outcome of one window."""
+
+    tier: Tier
+    misses: int = 0
+    bytes: float = 0.0
+    stall_cycles: float = 0.0
+    effective_latency_cycles: float = 0.0
+    #: Miss-weighted harmonic-mean MLP of the traffic in this tier.
+    mlp: float = 1.0
+    utilisation: float = 0.0
+
+
+@dataclass
+class WindowHardware:
+    """Full ground-truth outcome of one simulated window."""
+
+    shares: List[GroupTierShare]
+    tier_loads: Dict[Tier, TierLoad]
+    compute_cycles: float
+    duration_cycles: float
+
+    @property
+    def total_stall_cycles(self) -> float:
+        return sum(load.stall_cycles for load in self.tier_loads.values())
+
+    def shares_in_tier(self, tier: Tier) -> List[GroupTierShare]:
+        return [s for s in self.shares if s.tier == tier]
+
+
+class StallModel:
+    """Solves one window's stalls, latency inflation, and duration."""
+
+    def __init__(
+        self,
+        fast_spec: TierSpec,
+        slow_spec: TierSpec,
+        freq_ghz: float = CPU_FREQ_GHZ,
+        prefetch_traffic_factor: float = DEFAULT_PREFETCH_TRAFFIC_FACTOR,
+    ):
+        self.spec = {Tier.FAST: fast_spec, Tier.SLOW: slow_spec}
+        self.freq_ghz = freq_ghz
+        self.prefetch_traffic_factor = prefetch_traffic_factor
+
+    def split_groups(
+        self, groups: Sequence[AccessGroup], placement: np.ndarray
+    ) -> List[GroupTierShare]:
+        """Partition each group's traffic by the current page placement."""
+        shares: List[GroupTierShare] = []
+        for gi, group in enumerate(groups):
+            tiers = placement[group.pages]
+            for tier in (Tier.FAST, Tier.SLOW):
+                mask = tiers == int(tier)
+                if not mask.any():
+                    continue
+                shares.append(
+                    GroupTierShare(
+                        group_index=gi,
+                        tier=tier,
+                        pages=group.pages[mask],
+                        counts=group.counts[mask],
+                        mlp=group.mlp,
+                        load_fraction=group.load_fraction,
+                        label=group.label,
+                    )
+                )
+        return shares
+
+    def solve(
+        self,
+        shares: Sequence[GroupTierShare],
+        compute_cycles: float,
+        extra_bytes: Optional[Dict[Tier, float]] = None,
+        extra_cycles: float = 0.0,
+    ) -> WindowHardware:
+        """Fixed-point solve of stalls, contention, and window duration.
+
+        ``extra_bytes`` injects link traffic that produces no CPU stalls
+        for the observed application (MLC contenders, migration copies).
+        ``extra_cycles`` extends the duration without stalls (sampling /
+        migration overheads charged to the window).
+        """
+        extra_bytes = extra_bytes or {}
+        loads = {t: TierLoad(tier=t) for t in (Tier.FAST, Tier.SLOW)}
+        for share in shares:
+            loads[share.tier].misses += share.misses
+        for tier, load in loads.items():
+            demand_bytes = load.misses * CACHE_LINE_SIZE
+            load.bytes = demand_bytes * (1.0 + self.prefetch_traffic_factor)
+            load.bytes += float(extra_bytes.get(tier, 0.0))
+
+        # Initial guess: unloaded latency, duration = compute + extra.
+        duration = max(compute_cycles + extra_cycles, 1.0)
+        for _ in range(_FIXED_POINT_ITERATIONS):
+            total_stalls = 0.0
+            for tier, load in loads.items():
+                spec = self.spec[tier]
+                duration_ns = duration / self.freq_ghz
+                supply = spec.bytes_per_ns() * duration_ns
+                util = min(load.bytes / supply if supply > 0 else 0.0, MAX_UTILISATION)
+                load.utilisation = util
+                inflation = 1.0 + QUEUE_GAIN * util / (1.0 - util)
+                load.effective_latency_cycles = ns_to_cycles(spec.latency_ns, self.freq_ghz) * inflation
+            for share in shares:
+                lat = loads[share.tier].effective_latency_cycles
+                share.unit_stall_cycles = lat / share.mlp
+            for load in loads.values():
+                load.stall_cycles = 0.0
+            for share in shares:
+                loads[share.tier].stall_cycles += share.stall_cycles()
+            total_stalls = sum(load.stall_cycles for load in loads.values())
+            new_duration = max(compute_cycles + extra_cycles + total_stalls, 1.0)
+            # Damped update stabilises the few pathological cases where
+            # contention and duration oscillate.
+            duration = 0.5 * duration + 0.5 * new_duration
+
+        for load in loads.values():
+            load.mlp = _harmonic_mlp(
+                [s for s in shares if s.tier == load.tier]
+            )
+        return WindowHardware(
+            shares=list(shares),
+            tier_loads=loads,
+            compute_cycles=compute_cycles,
+            duration_cycles=duration,
+        )
+
+
+def _harmonic_mlp(shares: Sequence[GroupTierShare]) -> float:
+    """Miss-weighted harmonic mean MLP (the MLP the TOR actually sees).
+
+    Harmonic because total occupancy-time is sum(misses * lat / mlp):
+    the aggregate behaves like one stream whose MLP is the harmonic
+    mean weighted by misses.
+    """
+    total = sum(s.misses for s in shares)
+    if total == 0:
+        return 1.0
+    inv = sum(s.misses / s.mlp for s in shares)
+    return total / inv if inv > 0 else 1.0

@@ -1,0 +1,22 @@
+"""Memory substrate: pages, tiers, placement, LRU, huge-page geometry."""
+
+from repro.mem.page import (
+    HUGE_SHIFT,
+    ObjectRegion,
+    Tier,
+    UNALLOCATED,
+    expand_huge_pages,
+    huge_page_of,
+)
+from repro.mem.tiered import CapacityError, TieredMemory
+
+__all__ = [
+    "CapacityError",
+    "HUGE_SHIFT",
+    "ObjectRegion",
+    "Tier",
+    "TieredMemory",
+    "UNALLOCATED",
+    "expand_huge_pages",
+    "huge_page_of",
+]

@@ -1,0 +1,77 @@
+"""Page-level abstractions: tiers, huge-page geometry, object regions.
+
+Pages are identified by dense integer ids (virtual page numbers within a
+workload's footprint); all bulk state lives in numpy arrays indexed by
+page id, which keeps simulations of multi-GB footprints cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+import numpy as np
+
+from repro.common.units import PAGES_PER_HUGE_PAGE
+
+
+class Tier(IntEnum):
+    """Memory tier a page may reside in."""
+
+    FAST = 0
+    SLOW = 1
+
+
+#: Placement value for pages that have not been touched yet.
+UNALLOCATED = -1
+
+#: log2(pages per 2MB huge page) -- used to shift 4KB page ids to huge ids.
+HUGE_SHIFT = int(np.log2(PAGES_PER_HUGE_PAGE))
+
+
+def huge_page_of(pages: np.ndarray) -> np.ndarray:
+    """Huge-page ids covering each 4KB page id."""
+    return np.asarray(pages, dtype=np.int64) >> HUGE_SHIFT
+
+
+def expand_huge_pages(huge_ids: np.ndarray, footprint_pages: int) -> np.ndarray:
+    """All 4KB page ids belonging to the given huge pages, clipped to footprint.
+
+    Used by THP-aware migration: when a critical 4KB page is selected and
+    THP is enabled, the whole surrounding 2MB region migrates (§5.2).
+    """
+    huge_ids = np.unique(np.asarray(huge_ids, dtype=np.int64))
+    base = huge_ids << HUGE_SHIFT
+    offsets = np.arange(PAGES_PER_HUGE_PAGE, dtype=np.int64)
+    pages = (base[:, None] + offsets[None, :]).ravel()
+    return pages[pages < footprint_pages]
+
+
+@dataclass(frozen=True)
+class ObjectRegion:
+    """A named contiguous allocation inside a workload's address space.
+
+    Soar (§5.4) places whole objects, so workloads describe their major
+    allocations as regions: ``[start_page, start_page + num_pages)``.
+    """
+
+    name: str
+    start_page: int
+    num_pages: int
+
+    def __post_init__(self) -> None:
+        if self.num_pages <= 0:
+            raise ValueError("object region must span at least one page")
+        if self.start_page < 0:
+            raise ValueError("object region start must be non-negative")
+
+    @property
+    def end_page(self) -> int:
+        return self.start_page + self.num_pages
+
+    def pages(self) -> np.ndarray:
+        """All 4KB page ids in the region."""
+        return np.arange(self.start_page, self.end_page, dtype=np.int64)
+
+    def contains(self, page: int) -> bool:
+        return self.start_page <= page < self.end_page

@@ -1,0 +1,226 @@
+"""Two-tier memory with placement tracking, first-touch allocation, and LRU.
+
+``TieredMemory`` models the fast tier (local DRAM) and slow tier
+(NUMA/CXL) of the paper's testbed.  It owns:
+
+* per-page placement (fast / slow / unallocated),
+* per-tier capacity accounting,
+* an approximate LRU clock per page (fed by the access stream, standing
+  in for the kernel's (MG)LRU lists that PACT's eager demotion consults),
+* first-touch allocation (fill the fast tier, then spill to slow), which
+  is also the paper's NoTier baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.common.units import TierSpec
+from repro.mem.page import Tier, UNALLOCATED
+
+
+class CapacityError(ValueError):
+    """Raised when tier capacities cannot hold the requested placement."""
+
+
+class TieredMemory:
+    """Placement state for a footprint of ``footprint_pages`` 4KB pages."""
+
+    def __init__(
+        self,
+        footprint_pages: int,
+        fast_capacity_pages: int,
+        slow_capacity_pages: int,
+        fast_spec: TierSpec,
+        slow_spec: TierSpec,
+    ):
+        if footprint_pages <= 0:
+            raise ValueError("footprint must be positive")
+        if fast_capacity_pages < 0 or slow_capacity_pages < 0:
+            raise ValueError("capacities must be non-negative")
+        if fast_capacity_pages + slow_capacity_pages < footprint_pages:
+            raise CapacityError(
+                "tier capacities (%d + %d pages) cannot hold footprint (%d pages)"
+                % (fast_capacity_pages, slow_capacity_pages, footprint_pages)
+            )
+        self.footprint_pages = footprint_pages
+        self.capacity = {Tier.FAST: fast_capacity_pages, Tier.SLOW: slow_capacity_pages}
+        self.spec = {Tier.FAST: fast_spec, Tier.SLOW: slow_spec}
+        self.placement = np.full(footprint_pages, UNALLOCATED, dtype=np.int8)
+        self.used = {Tier.FAST: 0, Tier.SLOW: 0}
+        #: Window index of each page's most recent access (LRU clock).
+        self.last_touch = np.full(footprint_pages, -1, dtype=np.int64)
+        #: Decayed per-page access intensity -- the simulator's stand-in
+        #: for the kernel's (MG)LRU generations: pages accessed every
+        #: window stay "active", pages that go quiet decay toward zero
+        #: and become demotion victims.
+        self.activity = np.zeros(footprint_pages, dtype=float)
+        #: Per-window decay applied to ``activity`` (lazily).
+        self.activity_decay = 0.7
+        self._last_decay_window = 0
+        #: Monotonic stamp of when each page last entered its tier --
+        #: physical LRU-list position for FIFO-style reclaim.
+        self.arrival = np.zeros(footprint_pages, dtype=np.int64)
+        self._arrival_counter = 0
+        #: Pages pinned in the fast tier (Nomad shadow copies, etc.).
+        self._pinned = np.zeros(footprint_pages, dtype=bool)
+
+    # -- queries ------------------------------------------------------------
+
+    def free_pages(self, tier: Tier) -> int:
+        return self.capacity[tier] - self.used[tier]
+
+    def tier_of(self, pages: np.ndarray) -> np.ndarray:
+        """Placement of each page id (UNALLOCATED for untouched pages)."""
+        return self.placement[np.asarray(pages, dtype=np.int64)]
+
+    def pages_in_tier(self, tier: Tier) -> np.ndarray:
+        """All page ids currently resident in ``tier``."""
+        return np.flatnonzero(self.placement == int(tier)).astype(np.int64)
+
+    def resident_fraction(self, tier: Tier) -> float:
+        """Fraction of the allocated footprint resident in ``tier``."""
+        allocated = self.used[Tier.FAST] + self.used[Tier.SLOW]
+        if allocated == 0:
+            return 0.0
+        return self.used[tier] / allocated
+
+    # -- allocation and access tracking --------------------------------------
+
+    def allocate_first_touch(
+        self, pages: np.ndarray, prefer: Tier = Tier.FAST
+    ) -> "tuple[int, int]":
+        """Allocate any unallocated pages, filling ``prefer`` first.
+
+        Returns (pages placed in preferred tier, pages spilled to the
+        other tier).  This mirrors first-touch NUMA allocation: the fast
+        node absorbs allocations until full, after which pages land in
+        the slow node.
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        fresh = pages[self.placement[pages] == UNALLOCATED]
+        if fresh.size == 0:
+            return (0, 0)
+        # Dedupe while preserving the caller's allocation order -- the
+        # order decides which pages land in the preferred tier.
+        _, first_idx = np.unique(fresh, return_index=True)
+        fresh = fresh[np.sort(first_idx)]
+        other = Tier.SLOW if prefer == Tier.FAST else Tier.FAST
+        take = min(self.free_pages(prefer), fresh.size)
+        spill = fresh.size - take
+        if spill > self.free_pages(other):
+            raise CapacityError("no capacity left for first-touch allocation")
+        self.placement[fresh[:take]] = int(prefer)
+        self.placement[fresh[take:]] = int(other)
+        self.used[prefer] += take
+        self.used[other] += spill
+        # Allocation order is LRU-list arrival order.
+        self.arrival[fresh] = self._arrival_counter + np.arange(1, fresh.size + 1)
+        self._arrival_counter += fresh.size
+        return (int(take), int(spill))
+
+    def touch(
+        self, pages: np.ndarray, window: int, counts: Optional[np.ndarray] = None
+    ) -> None:
+        """Record accesses during ``window`` (feeds LRU clock and activity).
+
+        ``counts`` gives per-page access counts for the window; when
+        omitted, each page counts as one touch.
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        self._decay_activity(window)
+        self.last_touch[pages] = window
+        if counts is None:
+            self.activity[pages] += 1.0
+        else:
+            np.add.at(self.activity, pages, np.asarray(counts, dtype=float))
+
+    def _decay_activity(self, window: int) -> None:
+        steps = window - self._last_decay_window
+        if steps > 0:
+            self.activity *= self.activity_decay**steps
+            self._last_decay_window = window
+
+    def mean_activity(self, tier: Tier) -> float:
+        """Average access intensity of the tier's resident pages."""
+        resident = self.pages_in_tier(tier)
+        if resident.size == 0:
+            return 0.0
+        return float(self.activity[resident].mean())
+
+    # -- migration primitives -------------------------------------------------
+
+    def move(self, pages: np.ndarray, dst: Tier) -> np.ndarray:
+        """Move pages to ``dst``, honouring capacity; returns pages moved.
+
+        Pages already in ``dst``, unallocated pages, and pages beyond the
+        destination's free capacity are silently skipped (the kernel's
+        ``move_pages()`` likewise partially succeeds).
+        """
+        pages = np.unique(np.asarray(pages, dtype=np.int64))
+        src = Tier.SLOW if dst == Tier.FAST else Tier.FAST
+        movable = pages[self.placement[pages] == int(src)]
+        if dst == Tier.SLOW:
+            movable = movable[~self._pinned[movable]]
+        room = self.free_pages(dst)
+        if movable.size > room:
+            movable = movable[:room]
+        if movable.size:
+            self.placement[movable] = int(dst)
+            self.used[src] -= movable.size
+            self.used[dst] += movable.size
+            self._arrival_counter += 1
+            self.arrival[movable] = self._arrival_counter
+        return movable
+
+    def lru_victims(
+        self,
+        tier: Tier,
+        count: int,
+        protect: Optional[np.ndarray] = None,
+        max_activity: Optional[float] = None,
+        fifo: bool = False,
+    ) -> np.ndarray:
+        """Up to ``count`` reclaim victims resident in ``tier``.
+
+        By default victims are ranked by decayed access intensity
+        (coldest first).  ``protect`` pages (e.g. just-promoted ones)
+        are excluded.  ``max_activity`` restricts eligibility to
+        genuinely inactive pages -- a page accessed every window never
+        reaches the kernel's inactive list, so it can never be a victim;
+        ``None`` allows any resident page (aggressive watermark-style
+        reclaim).  ``fifo`` instead ranks by tier-arrival order --
+        physical LRU-list position, which is what simple watermark
+        reclaim actually walks, hot pages included.
+        """
+        if count <= 0:
+            return np.empty(0, dtype=np.int64)
+        resident = self.pages_in_tier(tier)
+        if tier == Tier.SLOW:
+            resident = resident[~self._pinned[resident]]
+        if protect is not None and protect.size:
+            resident = resident[~np.isin(resident, protect)]
+        if max_activity is not None:
+            resident = resident[self.activity[resident] <= max_activity]
+        if resident.size == 0:
+            return resident
+        keys = self.arrival[resident] if fifo else self.activity[resident]
+        if count >= resident.size:
+            order = np.argsort(keys, kind="stable")
+            return resident[order]
+        part = np.argpartition(keys, count)[:count]
+        order = np.argsort(keys[part], kind="stable")
+        return resident[part[order]]
+
+    # -- pinning (used by non-exclusive tiering a la Nomad) -------------------
+
+    def pin(self, pages: np.ndarray) -> None:
+        self._pinned[np.asarray(pages, dtype=np.int64)] = True
+
+    def unpin(self, pages: np.ndarray) -> None:
+        self._pinned[np.asarray(pages, dtype=np.int64)] = False
+
+    def pinned_count(self) -> int:
+        return int(self._pinned.sum())

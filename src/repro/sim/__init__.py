@@ -1,0 +1,48 @@
+"""Simulation layer: machine, runner, migration engine, metrics, config."""
+
+from repro.sim.config import MachineConfig, MigrationCost, PAPER_RATIOS, parse_ratio
+from repro.sim.engine import (
+    clear_baseline_cache,
+    ideal_baseline,
+    run_policy,
+    slow_only_run,
+)
+from repro.sim.machine import Machine
+from repro.sim.metrics import RunResult, WindowRecord, improvement
+from repro.sim.migration import MigrationEngine, MigrationOutcome
+from repro.sim.traceio import read_json, result_to_dict, write_json, write_trace_csv
+from repro.sim.policy_api import (
+    Decision,
+    NoTierPolicy,
+    Observation,
+    SlowOnlyPolicy,
+    TieringPolicy,
+    no_pages,
+)
+
+__all__ = [
+    "Decision",
+    "Machine",
+    "MachineConfig",
+    "MigrationCost",
+    "MigrationEngine",
+    "MigrationOutcome",
+    "NoTierPolicy",
+    "Observation",
+    "PAPER_RATIOS",
+    "RunResult",
+    "SlowOnlyPolicy",
+    "TieringPolicy",
+    "WindowRecord",
+    "clear_baseline_cache",
+    "ideal_baseline",
+    "improvement",
+    "read_json",
+    "result_to_dict",
+    "no_pages",
+    "parse_ratio",
+    "run_policy",
+    "slow_only_run",
+    "write_json",
+    "write_trace_csv",
+]

@@ -1,0 +1,90 @@
+"""Machine configuration: tier specs, ratios, window and cost parameters."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.common.units import (
+    CPU_FREQ_GHZ,
+    CXL_SPEC,
+    DEFAULT_WINDOW_MS,
+    DRAM_SPEC,
+    TierSpec,
+)
+from repro.hw.pebs import DEFAULT_PEBS_RATE
+
+#: The fast:slow capacity ratios evaluated in the paper (§5.1).
+PAPER_RATIOS = ("8:1", "4:1", "2:1", "1:1", "1:2", "1:4", "1:8")
+
+
+def parse_ratio(ratio: str) -> float:
+    """Fast-tier fraction of the footprint for a ``fast:slow`` ratio string."""
+    try:
+        fast_s, slow_s = ratio.split(":")
+        fast, slow = float(fast_s), float(slow_s)
+    except ValueError:
+        raise ValueError(f"ratio must look like '1:4', got {ratio!r}") from None
+    if fast <= 0 or slow <= 0:
+        raise ValueError("ratio parts must be positive")
+    return fast / (fast + slow)
+
+
+@dataclass(frozen=True)
+class MigrationCost:
+    """Cost model of ``move_pages()`` (per-batch syscall + per-page copy)."""
+
+    #: Fixed per-4KB-page cost: fault/syscall handling, TLB shootdown.
+    page_fixed_us: float = 1.0
+    #: Copy cost per 4KB page.
+    page_copy_us: float = 0.6
+    #: Fixed cost of moving one 2MB huge page.
+    huge_fixed_us: float = 6.0
+    #: Per-4KB copy cost within a huge-page move (sequential copy is fast).
+    huge_copy_us_per_4k: float = 0.25
+    #: Fraction of background-migration cost that interferes with the app
+    #: (a dedicated migration thread overlaps most of its work).
+    background_interference: float = 0.35
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Full description of the simulated testbed."""
+
+    fast_spec: TierSpec = DRAM_SPEC
+    slow_spec: TierSpec = CXL_SPEC
+    freq_ghz: float = CPU_FREQ_GHZ
+    window_ms: float = DEFAULT_WINDOW_MS
+    pebs_rate: int = DEFAULT_PEBS_RATE
+    counter_noise: float = 0.01
+    thp: bool = False
+    migration: MigrationCost = field(default_factory=MigrationCost)
+    #: Slack multiplier for slow-tier capacity (it can always hold the
+    #: whole footprint, as on the paper's 96 GB-per-socket testbed).
+    slow_slack: float = 1.0
+    #: A fast-tier page qualifies as an "inactive" demotion victim when
+    #: its decayed access intensity is below this fraction of the fast
+    #: tier's mean -- the simulator's model of the kernel's LRU
+    #: inactive list (constantly-touched pages are never demotable).
+    cold_activity_fraction: float = 0.25
+
+    def fast_capacity(self, footprint_pages: int, ratio: str) -> int:
+        """Fast-tier capacity in pages for a paper-style ratio string."""
+        frac = parse_ratio(ratio)
+        return max(int(math.ceil(footprint_pages * frac)), 1)
+
+    def slow_capacity(self, footprint_pages: int) -> int:
+        return int(math.ceil(footprint_pages * max(self.slow_slack, 1.0)))
+
+    def with_(self, **kwargs) -> "MachineConfig":
+        """A modified copy (frozen-dataclass convenience)."""
+        return replace(self, **kwargs)
+
+    def migration_cycles(self, pages_4k: int = 0, huge_pages: int = 0) -> float:
+        """Cycles consumed migrating the given page counts."""
+        us = (
+            pages_4k * (self.migration.page_fixed_us + self.migration.page_copy_us)
+            + huge_pages * self.migration.huge_fixed_us
+            + huge_pages * 512 * self.migration.huge_copy_us_per_4k
+        )
+        return us * 1_000.0 * self.freq_ghz

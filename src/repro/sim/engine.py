@@ -1,0 +1,124 @@
+"""High-level experiment runner with ideal-baseline caching.
+
+Every figure in the paper reports slowdown relative to an ideal
+DRAM-only execution of the same workload (§5.1).  The runner caches
+those baselines per (workload, seed, config, contention) so sweeps over
+policies and ratios pay for each baseline once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.sim.metrics import RunResult
+from repro.sim.policy_api import NoTierPolicy, SlowOnlyPolicy, TieringPolicy
+from repro.workloads.base import Workload
+from repro.workloads.mlc import MlcContender
+
+WorkloadFactory = Callable[[], Workload]
+
+_baseline_cache: Dict[Tuple, RunResult] = {}
+
+
+def run_policy(
+    workload: Workload,
+    policy: TieringPolicy,
+    ratio: str = "1:1",
+    config: Optional[MachineConfig] = None,
+    seed: int = 0,
+    contender: Optional[MlcContender] = None,
+    trace: bool = False,
+    max_windows: int = 200_000,
+) -> RunResult:
+    """Run one workload under one policy at one fast:slow ratio."""
+    machine = Machine(
+        workload=workload,
+        policy=policy,
+        config=config,
+        ratio=ratio,
+        contender=contender,
+        seed=seed,
+        trace=trace,
+    )
+    return machine.run(max_windows=max_windows)
+
+
+def ideal_baseline(
+    workload: Workload,
+    config: Optional[MachineConfig] = None,
+    seed: int = 0,
+    contender: Optional[MlcContender] = None,
+    use_cache: bool = True,
+) -> RunResult:
+    """All-in-DRAM run of the workload (the slowdown denominator)."""
+    config = config if config is not None else MachineConfig()
+    key = _cache_key("ideal", workload, config, seed, contender)
+    if use_cache and key in _baseline_cache:
+        return _baseline_cache[key]
+    machine = Machine(
+        workload=workload,
+        policy=NoTierPolicy(),
+        config=config,
+        ratio="1:1",
+        fast_capacity_override=workload.footprint_pages,
+        contender=contender,
+        seed=seed,
+    )
+    result = machine.run()
+    if use_cache:
+        _baseline_cache[key] = result
+    return result
+
+
+def slow_only_run(
+    workload: Workload,
+    config: Optional[MachineConfig] = None,
+    seed: int = 0,
+    contender: Optional[MlcContender] = None,
+    use_cache: bool = True,
+) -> RunResult:
+    """All-in-slow-tier run (the gray 'CXL' line in the figures)."""
+    config = config if config is not None else MachineConfig()
+    key = _cache_key("slow", workload, config, seed, contender)
+    if use_cache and key in _baseline_cache:
+        return _baseline_cache[key]
+    machine = Machine(
+        workload=workload,
+        policy=SlowOnlyPolicy(),
+        config=config,
+        ratio="1:1",
+        fast_capacity_override=0,
+        contender=contender,
+        seed=seed,
+    )
+    result = machine.run()
+    if use_cache:
+        _baseline_cache[key] = result
+    return result
+
+
+def clear_baseline_cache() -> None:
+    _baseline_cache.clear()
+
+
+def _cache_key(
+    kind: str,
+    workload: Workload,
+    config: MachineConfig,
+    seed: int,
+    contender: Optional[MlcContender],
+) -> Tuple:
+    contention = (contender.threads, int(contender.tier)) if contender else (0, -1)
+    return (
+        kind,
+        workload.name,
+        workload.seed,
+        workload.footprint_pages,
+        workload.total_misses,
+        workload.misses_per_window,
+        config,
+        seed,
+        contention,
+    )

@@ -1,0 +1,295 @@
+"""The machine: wires a workload, tiered memory, hardware, and a policy.
+
+One :class:`Machine` simulates one run.  Time advances in sampling
+windows; each window the machine
+
+1. pulls the workload's traffic and first-touch-allocates new pages,
+2. splits traffic by page placement and solves ground-truth stalls
+   (with bandwidth contention from the app, any MLC contender, and last
+   window's migration copies),
+3. draws PEBS samples and advances the CHA/TOR and perf counters,
+4. hands the policy an :class:`Observation` and applies its
+   :class:`Decision` through the migration engine,
+5. charges migration costs: synchronously for hint-fault designs,
+   partially (interference factor) for background migration threads.
+
+Runtime is the sum of window durations plus synchronous migration cost;
+the paper's slowdown metric compares it to an ideal all-DRAM run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.common.rngutil import split
+from repro.hw.cha import ChaTorCounters
+from repro.hw.pebs import PebsBatch, PebsSampler
+from repro.hw.perf import PerfCounters
+from repro.hw.stall import StallModel
+from repro.mem.page import Tier
+from repro.mem.tiered import TieredMemory
+from repro.sim.config import MachineConfig
+from repro.sim.metrics import RunResult, WindowRecord
+from repro.sim.migration import MigrationEngine, MigrationOutcome
+from repro.sim.policy_api import Decision, Observation, TieringPolicy
+from repro.workloads.base import Workload
+from repro.workloads.mlc import MlcContender
+
+#: Duration guess for the first window's contender traffic (20 ms).
+_INITIAL_WINDOW_CYCLES = 44_000_000.0
+
+
+class Machine:
+    """One simulated run of ``workload`` under ``policy``."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        policy: TieringPolicy,
+        config: Optional[MachineConfig] = None,
+        ratio: str = "1:1",
+        fast_capacity_override: Optional[int] = None,
+        contender: Optional[MlcContender] = None,
+        seed: int = 0,
+        trace: bool = False,
+    ):
+        self.workload = workload
+        self.policy = policy
+        self.config = config if config is not None else MachineConfig()
+        self.ratio = ratio
+        self.contender = contender
+        self.trace_enabled = trace
+
+        footprint = workload.footprint_pages
+        if fast_capacity_override is not None:
+            fast_cap = fast_capacity_override
+        else:
+            fast_cap = self.config.fast_capacity(footprint, ratio)
+        self.memory = TieredMemory(
+            footprint_pages=footprint,
+            fast_capacity_pages=fast_cap,
+            slow_capacity_pages=self.config.slow_capacity(footprint),
+            fast_spec=self.config.fast_spec,
+            slow_spec=self.config.slow_spec,
+        )
+        pebs_rng, cha_rng, perf_rng = split(seed, "pebs", "cha", "perf")
+        self.stall_model = StallModel(
+            self.config.fast_spec, self.config.slow_spec, self.config.freq_ghz
+        )
+        self.cha = ChaTorCounters(noise=self.config.counter_noise, rng=cha_rng)
+        self.perf = PerfCounters(noise=self.config.counter_noise, rng=perf_rng)
+        if policy.access_sampler == "chmu":
+            from repro.hw.chmu import ChmuSampler
+
+            self.pebs = ChmuSampler(footprint_pages=footprint)
+        else:
+            self.pebs = PebsSampler(
+                rate=self.config.pebs_rate,
+                rng=pebs_rng,
+                report_latency=policy.wants_pebs_latency,
+            )
+        self.engine = MigrationEngine(self.memory, self.config)
+
+        self._pending_overhead_cycles = 0.0
+        self._pending_bytes: Dict[Tier, float] = {}
+        self._last_duration = _INITIAL_WINDOW_CYCLES
+        self._last_perf = self.perf.read()
+        self._last_tor = self.cha.read()
+        self._trace: List[WindowRecord] = []
+        self._runtime_cycles = 0.0
+        self._window = 0
+
+        workload.reset()
+        policy.attach(self)
+        self._preallocate()
+
+    def _preallocate(self) -> None:
+        """Place the footprint before the measured region starts.
+
+        All evaluated applications allocate their memory during a load
+        phase (graph construction, model load, DB population) that
+        precedes the measured run, so placement is settled up front:
+        either by the policy's static plan (Soar) or by first-touch in
+        the workload's allocation order.
+        """
+        plan = self.policy.placement_plan(self.workload, self.memory)
+        order = plan if plan is not None else self.workload.allocation_order()
+        self.memory.allocate_first_touch(order, prefer=self.policy.alloc_prefer)
+
+    # -- main loop ---------------------------------------------------------------
+
+    def run(self, max_windows: int = 200_000) -> RunResult:
+        """Simulate until the workload finishes (or ``max_windows``)."""
+        while not self.workload.done and self._window < max_windows:
+            self.step()
+        return self.result()
+
+    def step(self) -> None:
+        """Advance the simulation by one sampling window."""
+        traffic = self.workload.next_window()
+        if not traffic.groups:
+            return
+        touched = traffic.touched_pages()
+        self.memory.allocate_first_touch(touched, prefer=self.policy.alloc_prefer)
+
+        shares = self.stall_model.split_groups(traffic.groups, self.memory.placement)
+
+        extra_bytes = dict(self._pending_bytes)
+        if self.contender is not None:
+            for tier, nbytes in self.contender.extra_bytes(
+                self._last_duration, self.config.freq_ghz
+            ).items():
+                extra_bytes[tier] = extra_bytes.get(tier, 0.0) + nbytes
+        extra_cycles = self._pending_overhead_cycles
+        self._pending_overhead_cycles = 0.0
+        self._pending_bytes = {}
+
+        outcome = self.stall_model.solve(
+            shares, traffic.compute_cycles, extra_bytes=extra_bytes, extra_cycles=extra_cycles
+        )
+        # Sample after the solve so TPEBS-style latency reporting sees
+        # each share's effective (loaded) latency; the PEBS processing
+        # overhead is charged to the next window (the dedicated thread
+        # drains records asynchronously, §4.6).
+        pebs_batch = self._sample_pebs(outcome.shares)
+        self._pending_overhead_cycles += pebs_batch.overhead_cycles
+        self.cha.advance(outcome.shares)
+        self.perf.advance(outcome)
+        if traffic.groups:
+            all_pages = np.concatenate([g.pages for g in traffic.groups])
+            all_counts = np.concatenate([g.counts for g in traffic.groups])
+            self.memory.touch(all_pages, self._window, counts=all_counts)
+
+        obs = self._observe(pebs_batch, touched, outcome.duration_cycles)
+        decision = self.policy.observe(obs)
+        migration = self._apply(decision)
+
+        duration = outcome.duration_cycles
+        duration += self.policy.window_overhead_cycles(obs)
+        migration.cost_cycles *= self.policy.migration_cost_multiplier
+        if self.policy.synchronous_migration:
+            duration += migration.cost_cycles
+        else:
+            interference = migration.cost_cycles * self.config.migration.background_interference
+            self._pending_overhead_cycles += interference
+        if migration.bytes_moved > 0:
+            for tier in (Tier.FAST, Tier.SLOW):
+                self._pending_bytes[tier] = (
+                    self._pending_bytes.get(tier, 0.0) + migration.bytes_moved / 2.0
+                )
+
+        self._runtime_cycles += duration
+        self._last_duration = duration
+        if self.trace_enabled:
+            self._record(traffic.phase, outcome, migration, obs, duration)
+        self._window += 1
+
+    # -- internals ----------------------------------------------------------------
+
+    def _sample_pebs(self, shares) -> PebsBatch:
+        if not self.policy.needs_pebs:
+            return PebsBatch.empty(self.pebs.rate)
+        tiers = (Tier.SLOW, Tier.FAST) if self.policy.sample_fast_tier else (Tier.SLOW,)
+        return self.pebs.sample(shares, tiers=tiers)
+
+    def _observe(
+        self, pebs_batch: PebsBatch, touched: np.ndarray, duration: float
+    ) -> Observation:
+        perf_now = self.perf.read()
+        tor_now = self.cha.read()
+        perf_delta = perf_now.delta(self._last_perf)
+        tor_mlp = {
+            tier: tor_now.mlp_since(self._last_tor, tier) for tier in (Tier.FAST, Tier.SLOW)
+        }
+        tor_occ = {
+            tier: tor_now.occupancy[tier] - self._last_tor.occupancy[tier]
+            for tier in (Tier.FAST, Tier.SLOW)
+        }
+        tor_busy = {
+            tier: tor_now.busy_cycles[tier] - self._last_tor.busy_cycles[tier]
+            for tier in (Tier.FAST, Tier.SLOW)
+        }
+        self._last_perf = perf_now
+        self._last_tor = tor_now
+        placement = self.memory.placement[touched]
+        return Observation(
+            window=self._window,
+            window_cycles=duration,
+            perf=perf_delta,
+            tor_mlp=tor_mlp,
+            pebs=pebs_batch,
+            memory=self.memory,
+            tor_occupancy_delta=tor_occ,
+            tor_busy_delta=tor_busy,
+            touched_slow=touched[placement == int(Tier.SLOW)],
+            touched_fast=touched[placement == int(Tier.FAST)],
+            progress=self.workload.progress,
+        )
+
+    def _apply(self, decision: Decision) -> MigrationOutcome:
+        total = MigrationOutcome()
+        if decision.empty:
+            return total
+        for part in self._apply_parts(decision):
+            total.merge(part)
+        self.policy.on_migration(total)
+        return total
+
+    def _apply_parts(self, decision: Decision) -> List[MigrationOutcome]:
+        parts: List[MigrationOutcome] = []
+        if decision.demote_lru > 0:
+            parts.append(
+                self.engine.demote_lru(
+                    decision.demote_lru,
+                    protect=decision.promote,
+                    victim_mode=decision.demote_victim_mode,
+                )
+            )
+        if decision.demote.size:
+            parts.append(self.engine.demote(decision.demote))
+        if decision.promote.size:
+            parts.append(self.engine.promote(decision.promote, make_room=False))
+        return parts
+
+    def _record(self, phase, outcome, migration, obs, duration) -> None:
+        loads = outcome.tier_loads
+        label_stalls: Dict[str, float] = {}
+        for share in outcome.shares:
+            prefix = share.label.split(":", 1)[0] if share.label else ""
+            label_stalls[prefix] = label_stalls.get(prefix, 0.0) + share.stall_cycles()
+        self._trace.append(
+            WindowRecord(
+                window=self._window,
+                duration_cycles=duration,
+                stall_cycles=outcome.total_stall_cycles,
+                slow_misses=loads[Tier.SLOW].misses,
+                fast_misses=loads[Tier.FAST].misses,
+                promoted=migration.promoted,
+                demoted=migration.demoted,
+                mlp_slow=loads[Tier.SLOW].mlp,
+                mlp_fast=loads[Tier.FAST].mlp,
+                fast_resident_fraction=self.memory.resident_fraction(Tier.FAST),
+                phase=phase,
+                policy_debug=self.policy.debug_info(),
+                label_stalls=label_stalls,
+            )
+        )
+
+    def result(self) -> RunResult:
+        perf = self.perf.read()
+        return RunResult(
+            workload=self.workload.name,
+            policy=self.policy.name,
+            ratio=self.ratio,
+            runtime_cycles=self._runtime_cycles,
+            windows=self._window,
+            promoted=self.engine.total_promoted,
+            demoted=self.engine.total_demoted,
+            migration_cost_cycles=self.engine.total_cost_cycles,
+            total_stall_cycles=sum(perf.stall_cycles.values()),
+            total_misses=sum(perf.llc_misses.values()),
+            tier_misses=dict(perf.llc_misses),
+            trace=self._trace if self.trace_enabled else None,
+        )

@@ -1,0 +1,74 @@
+"""Run results, window traces, and the paper's slowdown metric."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.units import cycles_to_ms
+from repro.mem.page import Tier
+
+
+@dataclass
+class WindowRecord:
+    """Per-window trace row (kept only when tracing is enabled)."""
+
+    window: int
+    duration_cycles: float
+    stall_cycles: float
+    slow_misses: float
+    fast_misses: float
+    promoted: int
+    demoted: int
+    mlp_slow: float
+    mlp_fast: float
+    fast_resident_fraction: float
+    phase: str = ""
+    policy_debug: Dict[str, float] = field(default_factory=dict)
+    #: Ground-truth stall cycles per traffic-label prefix (the text
+    #: before ':' in a group label) -- lets colocation benches attribute
+    #: stalls to individual co-running processes.
+    label_stalls: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one full simulation."""
+
+    workload: str
+    policy: str
+    ratio: str
+    runtime_cycles: float
+    windows: int
+    promoted: int
+    demoted: int
+    migration_cost_cycles: float
+    total_stall_cycles: float
+    total_misses: float
+    tier_misses: Dict[Tier, float]
+    trace: Optional[List[WindowRecord]] = None
+
+    @property
+    def runtime_ms(self) -> float:
+        return cycles_to_ms(self.runtime_cycles)
+
+    def slowdown(self, baseline: "RunResult") -> float:
+        """Normalised slowdown vs. an ideal run (0.25 = 25% slower, §5.1)."""
+        if baseline.runtime_cycles <= 0:
+            raise ValueError("baseline runtime must be positive")
+        return self.runtime_cycles / baseline.runtime_cycles - 1.0
+
+    def speedup_over(self, other: "RunResult") -> float:
+        """Relative performance improvement of this run over ``other``."""
+        if self.runtime_cycles <= 0:
+            raise ValueError("runtime must be positive")
+        return other.runtime_cycles / self.runtime_cycles - 1.0
+
+
+def improvement(slowdown_self: float, slowdown_other: float) -> float:
+    """Paper-style improvement: runtime reduction of self vs. other.
+
+    Both arguments are slowdowns relative to the same ideal baseline, so
+    runtimes are proportional to (1 + slowdown).
+    """
+    return (1.0 + slowdown_other) / (1.0 + slowdown_self) - 1.0

@@ -1,0 +1,147 @@
+"""Page migration engine: applies decisions, charges costs, counts moves.
+
+Wraps :class:`repro.mem.tiered.TieredMemory` with the mechanics the
+paper's systems share: ``move_pages()`` cost accounting, THP-aware
+whole-huge-page moves (§5.2), LRU victim demotion, and cumulative
+promotion/demotion counters (the paper's Table 2 metric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.units import PAGE_SIZE, PAGES_PER_HUGE_PAGE
+from repro.mem.page import Tier, expand_huge_pages, huge_page_of
+from repro.mem.tiered import TieredMemory
+from repro.sim.config import MachineConfig
+
+
+def _no_pages() -> np.ndarray:
+    return np.empty(0, dtype=np.int64)
+
+
+@dataclass
+class MigrationOutcome:
+    """Result of applying one window's migration orders."""
+
+    promoted: int = 0
+    demoted: int = 0
+    cost_cycles: float = 0.0
+    bytes_moved: float = 0.0
+    promoted_pages: np.ndarray = field(default_factory=_no_pages)
+    demoted_pages: np.ndarray = field(default_factory=_no_pages)
+
+    def merge(self, other: "MigrationOutcome") -> None:
+        self.promoted += other.promoted
+        self.demoted += other.demoted
+        self.cost_cycles += other.cost_cycles
+        self.bytes_moved += other.bytes_moved
+        if other.promoted_pages.size:
+            self.promoted_pages = np.concatenate([self.promoted_pages, other.promoted_pages])
+        if other.demoted_pages.size:
+            self.demoted_pages = np.concatenate([self.demoted_pages, other.demoted_pages])
+
+
+class MigrationEngine:
+    """Applies promotion/demotion orders against the tiered memory."""
+
+    def __init__(self, memory: TieredMemory, config: MachineConfig):
+        self.memory = memory
+        self.config = config
+        self.total_promoted = 0
+        self.total_demoted = 0
+        self.total_cost_cycles = 0.0
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _expand_thp(self, pages: np.ndarray) -> np.ndarray:
+        """With THP enabled, widen selections to whole 2MB regions."""
+        if not self.config.thp or pages.size == 0:
+            return pages
+        return expand_huge_pages(huge_page_of(pages), self.memory.footprint_pages)
+
+    def _cost(self, moved: np.ndarray) -> float:
+        """Migration cost in cycles for the pages actually moved."""
+        if moved.size == 0:
+            return 0.0
+        if not self.config.thp:
+            return self.config.migration_cycles(pages_4k=int(moved.size))
+        # Whole huge pages move as single units; stragglers (huge pages
+        # clipped by the footprint edge or partially resident) move 4KB-wise.
+        huge_ids, counts = np.unique(huge_page_of(moved), return_counts=True)
+        whole = int((counts == PAGES_PER_HUGE_PAGE).sum())
+        loose = int(counts[counts != PAGES_PER_HUGE_PAGE].sum())
+        return self.config.migration_cycles(pages_4k=loose, huge_pages=whole)
+
+    # -- operations -------------------------------------------------------------
+
+    def demote_lru(
+        self, count: int, protect: np.ndarray, victim_mode: str = "cold"
+    ) -> MigrationOutcome:
+        """Demote up to ``count`` reclaim victims from the fast tier.
+
+        ``victim_mode`` selects the reclaim walker (see
+        :class:`repro.sim.policy_api.Decision`): ``"cold"`` only touches
+        genuinely inactive pages, ``"lru_tail"`` takes the coldest pages
+        unconditionally, and ``"fifo"`` walks arrival order -- evicting
+        hot pages and causing refault ping-pong, as simple watermark
+        reclaim does.
+        """
+        if victim_mode not in ("cold", "lru_tail", "fifo"):
+            raise ValueError(f"unknown victim mode {victim_mode!r}")
+        max_activity = None
+        if victim_mode == "cold":
+            max_activity = (
+                self.config.cold_activity_fraction * self.memory.mean_activity(Tier.FAST)
+            )
+        victims = self.memory.lru_victims(
+            Tier.FAST,
+            count,
+            protect=protect,
+            max_activity=max_activity,
+            fifo=victim_mode == "fifo",
+        )
+        return self.demote(victims)
+
+    def demote(self, pages: np.ndarray) -> MigrationOutcome:
+        pages = self._expand_thp(np.asarray(pages, dtype=np.int64))
+        moved = self.memory.move(pages, Tier.SLOW)
+        return self._account(moved, promoted=False)
+
+    def promote(self, pages: np.ndarray, make_room: bool = False) -> MigrationOutcome:
+        """Promote pages; optionally demote LRU victims to make room.
+
+        ``make_room`` models policies that reclaim on-demand (TPP's
+        watermark-based demotion); PACT instead reserves space ahead of
+        time through its eager-demotion rule.
+        """
+        pages = self._expand_thp(np.asarray(pages, dtype=np.int64))
+        outcome = MigrationOutcome()
+        if pages.size == 0:
+            return outcome
+        if make_room:
+            deficit = pages.size - self.memory.free_pages(Tier.FAST)
+            if deficit > 0:
+                outcome.merge(self.demote_lru(deficit, protect=pages))
+        moved = self.memory.move(pages, Tier.FAST)
+        outcome.merge(self._account(moved, promoted=True))
+        return outcome
+
+    def _account(self, moved: np.ndarray, promoted: bool) -> MigrationOutcome:
+        cost = self._cost(moved)
+        count = int(moved.size)
+        if promoted:
+            self.total_promoted += count
+        else:
+            self.total_demoted += count
+        self.total_cost_cycles += cost
+        return MigrationOutcome(
+            promoted=count if promoted else 0,
+            demoted=0 if promoted else count,
+            cost_cycles=cost,
+            bytes_moved=float(count) * PAGE_SIZE * 2.0,  # read src + write dst
+            promoted_pages=moved if promoted else _no_pages(),
+            demoted_pages=_no_pages() if promoted else moved,
+        )

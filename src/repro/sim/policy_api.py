@@ -1,0 +1,181 @@
+"""The contract between the simulated kernel and a tiering policy.
+
+Once per sampling window the machine hands the policy an
+:class:`Observation` -- exactly the information a real tiering system
+can see: perf-counter deltas, TOR-derived per-tier MLP, PEBS samples,
+page-table placement, LRU state, and (for hint-fault-driven designs)
+which slow-tier pages faulted.  The policy answers with a
+:class:`Decision`: pages to promote and demote this window.
+
+Policies must not reach into :mod:`repro.hw.stall` ground truth; the
+test suite enforces the boundary by validating PACT's estimates against
+ground truth rather than letting the policy consume it.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.hw.pebs import PebsBatch
+from repro.hw.perf import PerfDelta
+from repro.mem.page import Tier
+from repro.mem.tiered import TieredMemory
+
+
+def no_pages() -> np.ndarray:
+    """An empty page-id array (the usual 'no migration' answer)."""
+    return np.empty(0, dtype=np.int64)
+
+
+@dataclass
+class Observation:
+    """Everything a policy may see about one sampling window."""
+
+    window: int
+    #: Duration of the window in cycles (elapsed time signal).
+    window_cycles: float
+    #: Perf-counter deltas over the window (LLC misses, stalls, bytes).
+    perf: PerfDelta
+    #: Per-tier MLP recovered from TOR counter deltas (dT1/dT2).
+    tor_mlp: Dict[Tier, float]
+    #: PEBS records for this window (slow-tier loads by default).
+    pebs: PebsBatch
+    #: Kernel-visible memory state: placement, LRU clocks, capacities.
+    memory: TieredMemory
+    #: Raw TOR counter deltas (T1 = occupancy integral, T2 = busy cycles),
+    #: so policies aggregating over longer sampling periods can recompute
+    #: MLP from summed deltas instead of averaging per-window ratios.
+    tor_occupancy_delta: Dict[Tier, float] = field(default_factory=dict)
+    tor_busy_delta: Dict[Tier, float] = field(default_factory=dict)
+    #: Slow-tier pages touched this window (what NUMA hint faults see).
+    touched_slow: np.ndarray = field(default_factory=no_pages)
+    #: Fast-tier pages touched this window (page-table scan visibility).
+    touched_fast: np.ndarray = field(default_factory=no_pages)
+    #: Workload progress fraction, for trace labelling only.
+    progress: float = 0.0
+
+    @property
+    def fast_free(self) -> int:
+        return self.memory.free_pages(Tier.FAST)
+
+
+@dataclass
+class Decision:
+    """Migration orders for one window."""
+
+    promote: np.ndarray = field(default_factory=no_pages)
+    demote: np.ndarray = field(default_factory=no_pages)
+    #: Ask the kernel to demote this many extra LRU victims first
+    #: (eager-demotion style space reservation).
+    demote_lru: int = 0
+    #: How reclaim picks those victims:
+    #: * ``"cold"``     -- only genuinely inactive pages (kernel LRU
+    #:   inactive-list semantics; a constantly-touched page is immune),
+    #: * ``"lru_tail"`` -- coldest-first but with no activity floor
+    #:   (aggressive watermark reclaim),
+    #: * ``"fifo"``     -- physical LRU-list arrival order, hot pages
+    #:   included (simple watermark walkers; the source of promotion/
+    #:   demotion ping-pong).
+    demote_victim_mode: str = "cold"
+
+    @staticmethod
+    def none() -> "Decision":
+        return Decision()
+
+    @property
+    def empty(self) -> bool:
+        return self.promote.size == 0 and self.demote.size == 0 and self.demote_lru == 0
+
+
+class TieringPolicy(abc.ABC):
+    """Base class for all tiering systems (PACT and the baselines)."""
+
+    #: Display name used in benches and result tables.
+    name: str = "policy"
+
+    #: True when migrations happen in the application's critical path
+    #: (hint-fault designs); False for background migration threads.
+    synchronous_migration: bool = True
+
+    #: Tier preferred by first-touch allocation under this policy.
+    alloc_prefer: Tier = Tier.FAST
+
+    #: Whether this policy wants fast-tier PEBS samples too.
+    sample_fast_tier: bool = False
+
+    #: Whether this policy consumes PEBS samples at all.  Policies that
+    #: do not (NoTier, hint-fault-only designs) skip PEBS entirely and
+    #: pay no sampling overhead.
+    needs_pebs: bool = True
+
+    #: Request per-record exposed-latency reporting from PEBS
+    #: (Sapphire-Rapids TPEBS; used by latency-weighted attribution).
+    wants_pebs_latency: bool = False
+
+    #: Access-sampling backend: "pebs" (host event sampling) or "chmu"
+    #: (CXL 3.2 controller-side hotness monitoring, §4.3.5).
+    access_sampler: str = "pebs"
+
+    #: Scales the engine's migration cost for this policy (transactional
+    #: double-copy designs pay more than a plain ``move_pages()``).
+    migration_cost_multiplier: float = 1.0
+
+    def attach(self, machine) -> None:
+        """Called once before the run; override to inspect the machine
+        configuration (THP mode, tier specs, window length)."""
+
+    def placement_plan(self, workload, memory: TieredMemory) -> Optional[np.ndarray]:
+        """Optional static placement: page ids in fast-tier priority order.
+
+        Profiling-driven allocators (Soar) return a full ordering here;
+        the machine fills the fast tier from its head.  Return ``None``
+        (the default) for first-touch allocation in the workload's
+        allocation order.
+        """
+        return None
+
+    @abc.abstractmethod
+    def observe(self, obs: Observation) -> Decision:
+        """Consume one window's observation and return migration orders."""
+
+    def debug_info(self) -> Dict[str, float]:
+        """Optional per-window internals surfaced into run traces."""
+        return {}
+
+    def window_overhead_cycles(self, obs: Observation) -> float:
+        """Extra critical-path cycles this policy imposes per window
+        beyond migration cost (page-protection faults, shadow upkeep).
+        Charged synchronously to the window's duration."""
+        return 0.0
+
+    def on_migration(self, outcome) -> None:
+        """Feedback after the engine applies a decision: which pages
+        actually moved (orders can be clipped by capacity or by victim
+        eligibility).  Override to maintain placement-dependent state."""
+
+
+class NoTierPolicy(TieringPolicy):
+    """First-touch placement with no migration (the paper's NoTier)."""
+
+    name = "NoTier"
+    synchronous_migration = False
+    needs_pebs = False
+
+    def observe(self, obs: Observation) -> Decision:  # noqa: ARG002
+        return Decision.none()
+
+
+class SlowOnlyPolicy(TieringPolicy):
+    """Allocate everything on the slow tier (the paper's 'CXL' line)."""
+
+    name = "CXL"
+    synchronous_migration = False
+    alloc_prefer = Tier.SLOW
+    needs_pebs = False
+
+    def observe(self, obs: Observation) -> Decision:  # noqa: ARG002
+        return Decision.none()

@@ -1,0 +1,86 @@
+"""Trace export: persist run results and window traces to JSON/CSV.
+
+Research workflows want raw per-window data for external plotting and
+post-hoc analysis; these writers keep the on-disk formats stable and
+round-trippable.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.mem.page import Tier
+from repro.sim.metrics import RunResult
+
+PathLike = Union[str, Path]
+
+_TRACE_COLUMNS = (
+    "window",
+    "duration_cycles",
+    "stall_cycles",
+    "slow_misses",
+    "fast_misses",
+    "promoted",
+    "demoted",
+    "mlp_slow",
+    "mlp_fast",
+    "fast_resident_fraction",
+    "phase",
+)
+
+
+def result_to_dict(result: RunResult, include_trace: bool = True) -> dict:
+    """A JSON-serialisable view of a run result."""
+    payload = {
+        "workload": result.workload,
+        "policy": result.policy,
+        "ratio": result.ratio,
+        "runtime_cycles": result.runtime_cycles,
+        "runtime_ms": result.runtime_ms,
+        "windows": result.windows,
+        "promoted": result.promoted,
+        "demoted": result.demoted,
+        "migration_cost_cycles": result.migration_cost_cycles,
+        "total_stall_cycles": result.total_stall_cycles,
+        "total_misses": result.total_misses,
+        "tier_misses": {tier.name.lower(): v for tier, v in result.tier_misses.items()},
+    }
+    if include_trace and result.trace is not None:
+        payload["trace"] = [
+            {
+                **{col: getattr(rec, col) for col in _TRACE_COLUMNS},
+                "policy_debug": rec.policy_debug,
+            }
+            for rec in result.trace
+        ]
+    return payload
+
+
+def write_json(result: RunResult, path: PathLike, include_trace: bool = True) -> Path:
+    """Write the run result (optionally with its trace) as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result_to_dict(result, include_trace), indent=2))
+    return path
+
+
+def write_trace_csv(result: RunResult, path: PathLike) -> Path:
+    """Write the per-window trace as CSV (requires a traced run)."""
+    if result.trace is None:
+        raise ValueError("run was not traced; construct the Machine with trace=True")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_TRACE_COLUMNS)
+        for rec in result.trace:
+            writer.writerow([getattr(rec, col) for col in _TRACE_COLUMNS])
+    return path
+
+
+def read_json(path: PathLike) -> dict:
+    """Load a previously exported run-result JSON."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,116 @@
+"""GPT-2 inference memory behaviour.
+
+The paper's gpt-2 result (§5.3) is the sharpest indictment of hotness:
+every hotness-based system does *worse* than first-touch because the
+dominant traffic -- weight matrices streamed once per token -- is
+extremely frequent but fully latency-tolerant (high MLP from GEMM
+blocking and prefetching).  Promoting weights churns the fast tier for
+no benefit.  The truly critical pages are the small embedding-lookup and
+KV-cache regions with dependent, low-MLP accesses.
+
+The generator models three regions:
+
+* ``weights``   -- ~70% of footprint, uniform, streamed every window, MLP ~18,
+* ``kv_cache``  -- grows with decoded tokens, recency-weighted, MLP ~4,
+* ``embeddings``-- small, zipf token popularity, MLP ~2.5.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.hw.access import AccessGroup
+from repro.mem.page import ObjectRegion
+from repro.workloads.base import Workload, region_group, zipf_weights
+
+WEIGHTS_MLP = 18.0
+KV_MLP = 4.0
+EMBED_MLP = 2.5
+
+#: (weights, kv, embeddings) miss-traffic fractions during the
+#: GEMM-dominated windows of a token step.
+_GEMM_MIX = (0.88, 0.08, 0.04)
+
+#: Mix during attention/embedding-dominated windows.
+_ATTENTION_MIX = (0.55, 0.28, 0.17)
+
+#: Windows per (GEMM, attention) alternation within token batches.
+_GEMM_WINDOWS = 3
+_ATTENTION_WINDOWS = 2
+
+
+class Gpt2Inference(Workload):
+    """Token-by-token decoder inference over a tiered footprint."""
+
+    def __init__(
+        self,
+        footprint_pages: int = 20_480,
+        total_misses: int = 50_000_000,
+        misses_per_window: int = 250_000,
+        compute_cycles_per_miss: float = 90.0,
+        seed: int = 4,
+    ):
+        n_weights = int(footprint_pages * 0.60)
+        n_kv = int(footprint_pages * 0.24)
+        n_embed = footprint_pages - n_weights - n_kv
+        objects = [
+            ObjectRegion("weights", 0, n_weights),
+            ObjectRegion("kv_cache", n_weights, n_kv),
+            ObjectRegion("embeddings", n_weights + n_kv, n_embed),
+        ]
+        super().__init__(
+            name="gpt-2",
+            footprint_pages=footprint_pages,
+            total_misses=total_misses,
+            misses_per_window=misses_per_window,
+            compute_cycles_per_miss=compute_cycles_per_miss,
+            seed=seed,
+            objects=objects,
+        )
+        layout_rng = np.random.default_rng(seed + 101)
+        self._embed_weights = zipf_weights(n_embed, 0.8, layout_rng)
+
+    def _kv_valid_pages(self) -> int:
+        """KV cache fills as decoding progresses (10% warm at start)."""
+        n_kv = self.objects[1].num_pages
+        return max(int(n_kv * (0.1 + 0.9 * self.progress)), 1)
+
+    def _in_gemm_phase(self) -> bool:
+        cycle = _GEMM_WINDOWS + _ATTENTION_WINDOWS
+        return (self.window_index % cycle) < _GEMM_WINDOWS
+
+    def _emit(self, budget: int, rng: np.random.Generator) -> List[AccessGroup]:
+        weights, kv, embed = self.objects
+        # Token steps alternate GEMM-dominated windows (weight streaming)
+        # with attention/embedding windows (dependent lookups), giving
+        # the criticality profiler real temporal MLP structure.
+        f_w, f_kv, f_e = _GEMM_MIX if self._in_gemm_phase() else _ATTENTION_MIX
+        groups: List[AccessGroup] = []
+
+        w_misses = int(budget * f_w)
+        groups.append(region_group(rng, weights, w_misses, WEIGHTS_MLP, label="weights"))
+
+        kv_misses = int(budget * f_kv)
+        valid = self._kv_valid_pages()
+        # Attention reads the whole valid prefix but favours recent tokens.
+        recency = np.linspace(0.3, 1.0, valid)
+        kv_counts_region = ObjectRegion("kv_valid", kv.start_page, valid)
+        groups.append(
+            region_group(
+                rng, kv_counts_region, kv_misses, KV_MLP, weights=recency, label="kv"
+            )
+        )
+
+        e_misses = budget - w_misses - kv_misses
+        groups.append(
+            region_group(
+                rng, embed, e_misses, EMBED_MLP, weights=self._embed_weights, label="embed"
+            )
+        )
+        return groups
+
+    def phase_name(self) -> str:
+        phase = "gemm" if self._in_gemm_phase() else "attention"
+        return f"{phase}-{int(self.progress * 100)}pct"

@@ -1,0 +1,104 @@
+"""Masim: the memory access pattern simulator (Linux DAMON's masim).
+
+The paper extends masim to run two read-only threads -- one sequential
+array traversal and one pointer-chasing random walker -- with uniform
+per-page access probability within each thread's region (§3).  Pages of
+both threads see identical access frequency but sharply different
+criticality: the streaming thread amortises latency across in-flight
+requests, the chasing thread exposes it.
+
+``pattern`` selects the thread mix so a single-pattern instance can be
+used for the colocation study (§5.9).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.hw.access import AccessGroup
+from repro.mem.page import ObjectRegion
+from repro.workloads.base import Workload, region_group
+
+#: Effective MLP of masim's prefetch-friendly sequential traversal.
+SEQUENTIAL_MLP = 14.0
+
+#: Effective MLP of masim's random walker: accesses are independent, so
+#: the OOO window keeps several in flight, but no prefetching helps.
+RANDOM_MLP = 8.0
+
+_PATTERNS = ("mixed", "sequential", "random")
+
+
+class Masim(Workload):
+    """Two-region synthetic traffic with controlled access patterns."""
+
+    def __init__(
+        self,
+        pattern: str = "mixed",
+        footprint_pages: int = 12_288,
+        total_misses: int = 40_000_000,
+        misses_per_window: int = 250_000,
+        compute_cycles_per_miss: float = 12.0,
+        seed: int = 1,
+    ):
+        if pattern not in _PATTERNS:
+            raise ValueError(f"pattern must be one of {_PATTERNS}")
+        self.pattern = pattern
+        if pattern == "mixed":
+            half = footprint_pages // 2
+            objects = [
+                ObjectRegion("seq_array", 0, half),
+                ObjectRegion("chase_array", half, footprint_pages - half),
+            ]
+        else:
+            objects = [ObjectRegion(f"{pattern}_array", 0, footprint_pages)]
+        super().__init__(
+            name=f"masim-{pattern}",
+            footprint_pages=footprint_pages,
+            total_misses=total_misses,
+            misses_per_window=misses_per_window,
+            compute_cycles_per_miss=compute_cycles_per_miss,
+            seed=seed,
+            objects=objects,
+        )
+        self._seq_consumed = 0
+
+    def _on_reset(self) -> None:
+        self._seq_consumed = 0
+
+    def _emit(self, budget: int, rng: np.random.Generator) -> List[AccessGroup]:
+        groups: List[AccessGroup] = []
+        if self.pattern == "mixed":
+            seq_region, chase_region = self.objects
+            # Both threads issue the same number of loads, but the
+            # prefetched sequential thread retires them ~2x faster and
+            # finishes its 1.5B loads early; later windows are
+            # chase-only.  This thread-speed asymmetry is what separates
+            # the two clusters in Figure 1a.
+            seq_total = self.total_misses // 2
+            seq_budget = min(budget * 2 // 3, seq_total - self._seq_consumed)
+            seq_budget = max(seq_budget, 0)
+            self._seq_consumed += seq_budget
+            if seq_budget > 0:
+                groups.append(
+                    region_group(rng, seq_region, seq_budget, SEQUENTIAL_MLP, label="seq")
+                )
+            chase_budget = budget - seq_budget
+            if chase_budget > 0:
+                groups.append(
+                    region_group(rng, chase_region, chase_budget, RANDOM_MLP, label="chase")
+                )
+        elif self.pattern == "sequential":
+            groups.append(
+                region_group(rng, self.objects[0], budget, SEQUENTIAL_MLP, label="seq")
+            )
+        else:
+            groups.append(
+                region_group(rng, self.objects[0], budget, RANDOM_MLP, label="chase")
+            )
+        return groups
+
+    def phase_name(self) -> str:
+        return self.pattern

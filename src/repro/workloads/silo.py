@@ -1,0 +1,136 @@
+"""Silo: an in-memory OLTP database (Tu et al., SOSP '13).
+
+Silo's tiered-memory profile combines three very different patterns:
+
+* B-tree descent: a small, extremely hot internal-node region walked by
+  dependent pointer chasing (MLP ~2) -- the classic high-criticality set,
+* record reads/updates over a large, moderately skewed record heap
+  (MLP ~3),
+* log writes: append-only streaming (MLP ~16, almost no loads).
+
+The paper uses silo (si1o) in the PAC-vs-frequency generalisation check
+(§5.6), where its high MLP variance makes frequency-based selection
+noticeably worse than PAC.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.hw.access import AccessGroup
+from repro.mem.page import ObjectRegion
+from repro.workloads.base import Workload, region_group, zipf_weights
+
+BTREE_MLP = 2.0
+RECORD_MLP = 3.0
+SCAN_MLP = 14.0
+LOG_MLP = 16.0
+
+#: (btree, records, log) mix during transaction-processing windows.
+_TXN_MIX = (0.38, 0.52, 0.10)
+
+#: Mix during range-scan windows (read-mostly analytics passes).
+_SCAN_MIX = (0.06, 0.84, 0.10)
+
+#: Every Nth window is a range-scan window.
+_SCAN_EVERY = 4
+
+
+class Silo(Workload):
+    """TPC-C-style transaction processing over an in-memory B-tree store."""
+
+    def __init__(
+        self,
+        footprint_pages: int = 16_384,
+        total_misses: int = 50_000_000,
+        misses_per_window: int = 250_000,
+        compute_cycles_per_miss: float = 60.0,
+        seed: int = 6,
+    ):
+        n_btree = int(footprint_pages * 0.06)
+        n_records = int(footprint_pages * 0.74)
+        n_log = footprint_pages - n_btree - n_records
+        objects = [
+            ObjectRegion("btree_internal", 0, n_btree),
+            ObjectRegion("records", n_btree, n_records),
+            ObjectRegion("log", n_btree + n_records, n_log),
+        ]
+        super().__init__(
+            name="silo",
+            footprint_pages=footprint_pages,
+            total_misses=total_misses,
+            misses_per_window=misses_per_window,
+            compute_cycles_per_miss=compute_cycles_per_miss,
+            seed=seed,
+            objects=objects,
+        )
+        layout_rng = np.random.default_rng(seed + 57)
+        self._btree_weights = zipf_weights(n_btree, 0.9, layout_rng)
+        self._record_weights = zipf_weights(n_records, 0.8, layout_rng)
+        self._log_head = 0
+
+    def _on_reset(self) -> None:
+        self._log_head = 0
+
+    def allocation_order(self) -> np.ndarray:
+        """DB population order: record heap first; internal B-tree nodes
+        are split into existence throughout loading, so they skew late."""
+        return self._order_from_regions(["records", "log", "btree_internal"])
+
+    def _in_scan_window(self) -> bool:
+        return self.window_index % _SCAN_EVERY == _SCAN_EVERY - 1
+
+    def _emit(self, budget: int, rng: np.random.Generator) -> List[AccessGroup]:
+        btree, records, log = self.objects
+        scan = self._in_scan_window()
+        f_b, f_r, f_l = _SCAN_MIX if scan else _TXN_MIX
+        b_misses = int(budget * f_b)
+        r_misses = int(budget * f_r)
+        l_misses = budget - b_misses - r_misses
+        if scan:
+            # Range scans sweep the record heap uniformly with deep
+            # prefetching: high traffic, low per-access cost.  Frequency
+            # counters see these touches as "hotness" on cold records --
+            # the classic scan-pollution failure of hotness tiering that
+            # PAC's stall pricing avoids (§5.6).
+            record_traffic = region_group(
+                rng, records, r_misses, SCAN_MLP, label="record-scan"
+            )
+        else:
+            record_traffic = region_group(
+                rng, records, r_misses, RECORD_MLP, weights=self._record_weights, label="records"
+            )
+        groups = [
+            region_group(
+                rng, btree, b_misses, BTREE_MLP, weights=self._btree_weights, label="btree"
+            ),
+            record_traffic,
+            self._log_group(rng, log, l_misses),
+        ]
+        return groups
+
+    def phase_name(self) -> str:
+        return "scan" if self._in_scan_window() else "txn"
+
+    def _log_group(
+        self, rng: np.random.Generator, log: ObjectRegion, misses: int
+    ) -> AccessGroup:
+        """Append-only log traffic sweeping circularly through the region."""
+        span = max(log.num_pages // 8, 1)
+        start = self._log_head
+        self._log_head = (self._log_head + span) % log.num_pages
+        pages = log.start_page + (start + np.arange(span)) % log.num_pages
+        counts = np.zeros(span, dtype=np.int64)
+        if misses > 0:
+            counts += misses // span
+            counts[: misses % span] += 1
+        hit = counts > 0
+        return AccessGroup(
+            pages=pages[hit],
+            counts=counts[hit],
+            mlp=LOG_MLP,
+            load_fraction=0.1,  # log traffic is almost all stores
+            label="log",
+        )

@@ -1,0 +1,66 @@
+"""Registry of the paper's evaluation workloads (§5.1).
+
+``EVAL_WORKLOADS`` lists the 12 applications of the all-workloads study
+(Figure 6); ``ALL_WORKLOADS`` adds masim, the 13th workload, used in the
+motivation and colocation studies.  ``make_workload`` builds a fresh,
+deterministically seeded instance by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.workloads.base import Workload
+from repro.workloads.gpt2 import Gpt2Inference
+from repro.workloads.graph import make_graph_workload
+from repro.workloads.gups import Gups
+from repro.workloads.masim import Masim
+from repro.workloads.redis_ycsb import RedisYcsbC
+from repro.workloads.silo import Silo
+from repro.workloads.spec import Bwaves, Deepsjeng, Xz
+
+_FACTORIES: Dict[str, Callable[..., Workload]] = {
+    "bc-kron": lambda **kw: make_graph_workload("bc-kron", **kw),
+    "bc-urand": lambda **kw: make_graph_workload("bc-urand", **kw),
+    "bc-twitter": lambda **kw: make_graph_workload("bc-twitter", **kw),
+    "tc-twitter": lambda **kw: make_graph_workload("tc-twitter", **kw),
+    "sssp-kron": lambda **kw: make_graph_workload("sssp-kron", **kw),
+    "gups": lambda **kw: Gups(**kw),
+    "gpt-2": lambda **kw: Gpt2Inference(**kw),
+    "redis-ycsbc": lambda **kw: RedisYcsbC(**kw),
+    "silo": lambda **kw: Silo(**kw),
+    "603.bwaves": lambda **kw: Bwaves(**kw),
+    "657.xz": lambda **kw: Xz(**kw),
+    "631.deepsjeng": lambda **kw: Deepsjeng(**kw),
+    "masim": lambda **kw: Masim(**kw),
+}
+
+#: The 12 workloads of the Figure 6 cross-workload study.
+EVAL_WORKLOADS: List[str] = [
+    "bc-kron",
+    "bc-urand",
+    "bc-twitter",
+    "tc-twitter",
+    "sssp-kron",
+    "gups",
+    "gpt-2",
+    "redis-ycsbc",
+    "silo",
+    "603.bwaves",
+    "657.xz",
+    "631.deepsjeng",
+]
+
+#: All 13 evaluated applications (adds masim).
+ALL_WORKLOADS: List[str] = EVAL_WORKLOADS + ["masim"]
+
+
+def make_workload(name: str, **kwargs) -> Workload:
+    """Instantiate an evaluation workload by its paper name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; known: {sorted(_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,73 @@
+"""The command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "doom", "--policy", "PACT"])
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "gups", "--policy", "LRU2"])
+
+
+class TestCommands:
+    def test_list(self):
+        code, text = run_cli("list")
+        assert code == 0
+        assert "bc-kron" in text and "PACT" in text and "8:1" in text
+
+    def test_run(self):
+        code, text = run_cli(
+            "run", "--workload", "gups", "--policy", "PACT",
+            "--ratio", "1:2", "--work", "2000000",
+        )
+        assert code == 0
+        assert "slowdown vs DRAM-only" in text
+        assert "pages promoted" in text
+
+    def test_run_with_thp(self):
+        code, text = run_cli(
+            "run", "--workload", "gups", "--policy", "Memtis",
+            "--thp", "--work", "2000000",
+        )
+        assert code == 0
+        assert "slowdown" in text
+
+    def test_sweep(self):
+        code, text = run_cli(
+            "sweep", "--workload", "masim", "--policies", "PACT", "NoTier",
+            "--work", "2000000",
+        )
+        assert code == 0
+        assert "8:1" in text and "1:8" in text
+        assert "CXL (all-slow)" in text
+
+    def test_compare(self):
+        code, text = run_cli(
+            "compare", "--workloads", "gups", "masim",
+            "--policies", "PACT", "NoTier", "--work", "2000000",
+        )
+        assert code == 0
+        assert "gups" in text and "masim" in text
+
+    def test_calibrate(self):
+        code, text = run_cli("calibrate", "--windows", "3")
+        assert code == 0
+        assert "fitted k" in text

@@ -1,0 +1,74 @@
+"""Reservoir sampling: capacity, uniformity, quartile estimation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.reservoir import Reservoir
+
+
+def test_fills_to_capacity_then_stays_bounded(rng):
+    r = Reservoir(capacity=10, rng=rng)
+    for i in range(100):
+        r.offer(float(i))
+    assert len(r) == 10
+    assert r.seen == 100
+
+
+def test_first_k_enter_directly(rng):
+    r = Reservoir(capacity=5, rng=rng)
+    for i in range(5):
+        assert r.offer(float(i))
+    assert sorted(r.values()) == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        Reservoir(capacity=0)
+
+
+def test_clear_resets(rng):
+    r = Reservoir(capacity=4, rng=rng)
+    r.offer_many([1.0, 2.0, 3.0])
+    r.clear()
+    assert len(r) == 0
+    assert r.seen == 0
+
+
+def test_quartiles_of_empty():
+    assert Reservoir(capacity=4).quartiles() == (0.0, 0.0)
+
+
+def test_uniform_sampling_statistics():
+    """Each stream element should appear in the final sample with
+    probability ~k/n (Vitter's invariant)."""
+    n, k, trials = 400, 20, 600
+    first_half_hits = 0
+    for t in range(trials):
+        r = Reservoir(capacity=k, rng=np.random.default_rng(t))
+        r.offer_many(float(i) for i in range(n))
+        first_half_hits += int((r.values() < n / 2).sum())
+    mean_first_half = first_half_hits / trials
+    # Expected k/2 elements from the first half; allow generous slack.
+    assert mean_first_half == pytest.approx(k / 2, abs=1.0)
+
+
+def test_quartiles_approximate_stream_quartiles():
+    rng = np.random.default_rng(5)
+    r = Reservoir(capacity=100, rng=rng)
+    data = rng.exponential(scale=10.0, size=20_000)
+    r.offer_many(data)
+    q1, q3 = r.quartiles()
+    tq1, tq3 = np.percentile(data, [25, 75])
+    assert q1 == pytest.approx(tq1, rel=0.5)
+    assert q3 == pytest.approx(tq3, rel=0.5)
+
+
+@settings(max_examples=25)
+@given(st.integers(1, 40), st.lists(st.floats(0, 1e6), max_size=200))
+def test_size_never_exceeds_capacity(capacity, values):
+    r = Reservoir(capacity=capacity, rng=np.random.default_rng(0))
+    r.offer_many(values)
+    assert len(r) == min(capacity, len(values))
+    assert r.seen == len(values)

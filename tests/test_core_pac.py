@@ -1,0 +1,92 @@
+"""PAC model: Equation 1, k fitting, stall attribution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.units import CXL_SPEC
+from repro.core.pac import PacModelCoefficients, attribute_stalls, fit_k
+
+
+class TestEquationOne:
+    def test_stalls_scale_with_misses(self):
+        m = PacModelCoefficients(k_cycles=400.0)
+        assert m.tier_stalls(2000, 4.0) == pytest.approx(2 * m.tier_stalls(1000, 4.0))
+
+    def test_mlp_amortises(self):
+        m = PacModelCoefficients(k_cycles=400.0)
+        assert m.tier_stalls(1000, 8.0) == pytest.approx(m.tier_stalls(1000, 4.0) / 2)
+
+    def test_rejects_nonpositive_mlp(self):
+        with pytest.raises(ValueError):
+            PacModelCoefficients(k_cycles=400.0).tier_stalls(1000, 0.0)
+
+    def test_default_uses_tier_latency(self):
+        m = PacModelCoefficients.default_for(CXL_SPEC)
+        assert m.k_cycles == pytest.approx(CXL_SPEC.latency_cycles)
+
+
+class TestFitK:
+    def test_exact_linear_data(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert fit_k(x, 418.0 * x) == pytest.approx(418.0)
+
+    def test_noisy_data_recovers_slope(self, rng):
+        x = rng.uniform(1e4, 1e6, size=300)
+        y = 350.0 * x * np.exp(rng.normal(0, 0.05, size=300))
+        assert fit_k(x, y) == pytest.approx(350.0, rel=0.05)
+
+    def test_requires_traffic(self):
+        with pytest.raises(ValueError):
+            fit_k([0.0, 0.0], [1.0, 2.0])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fit_k([1.0], [1.0, 2.0])
+
+    @settings(max_examples=30)
+    @given(st.floats(1.0, 1e4), st.integers(2, 40))
+    def test_recovers_arbitrary_slope(self, k, n):
+        x = np.linspace(1, 100, n)
+        assert fit_k(x, k * x) == pytest.approx(k, rel=1e-6)
+
+
+class TestAttribution:
+    def test_proportional_attribution_sums_to_total(self):
+        counts = np.array([1, 2, 3, 4], dtype=float)
+        out = attribute_stalls(100.0, counts)
+        assert out.sum() == pytest.approx(100.0)
+        assert out[3] == pytest.approx(40.0)
+
+    def test_attribution_is_frequency_proportional(self):
+        counts = np.array([10, 30], dtype=float)
+        out = attribute_stalls(80.0, counts)
+        assert out[1] / out[0] == pytest.approx(3.0)
+
+    def test_latency_weighted_attribution(self):
+        # Equal counts, 3x latency -> 3x attribution (§4.3.7 extension).
+        counts = np.array([10.0, 10.0])
+        latencies = np.array([100.0, 300.0])
+        out = attribute_stalls(40.0, counts, latencies)
+        assert out[0] == pytest.approx(10.0)
+        assert out[1] == pytest.approx(30.0)
+
+    def test_empty_input(self):
+        out = attribute_stalls(100.0, np.array([]))
+        assert out.size == 0
+
+    def test_zero_counts(self):
+        out = attribute_stalls(100.0, np.zeros(3))
+        assert (out == 0).all()
+
+    @settings(max_examples=40)
+    @given(
+        st.floats(0, 1e9),
+        st.lists(st.integers(0, 10**6), min_size=1, max_size=40),
+    )
+    def test_conservation_property(self, total, counts):
+        out = attribute_stalls(total, np.array(counts, dtype=float))
+        if sum(counts) > 0:
+            assert out.sum() == pytest.approx(total, rel=1e-9, abs=1e-6)
+        assert (out >= 0).all()

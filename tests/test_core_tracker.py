@@ -1,0 +1,124 @@
+"""PAC tracker: accumulation, cooling hooks, hash-table semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tracker import PacTracker
+
+
+def test_starts_empty():
+    t = PacTracker(100)
+    assert len(t) == 0
+    assert t.tracked_pages().size == 0
+
+
+def test_rejects_empty_footprint():
+    with pytest.raises(ValueError):
+        PacTracker(0)
+
+
+def test_update_accumulates():
+    t = PacTracker(10)
+    t.update(np.array([1, 2]), np.array([5.0, 7.0]), np.array([1, 2]))
+    t.update(np.array([1]), np.array([3.0]), np.array([1]))
+    assert t.pac[1] == pytest.approx(8.0)
+    assert t.pac[2] == pytest.approx(7.0)
+    assert t.frequency[1] == 2.0
+    assert len(t) == 2
+
+
+def test_alpha_cooling_on_update():
+    t = PacTracker(10)
+    t.update(np.array([3]), np.array([10.0]), np.array([1]))
+    t.update(np.array([3]), np.array([10.0]), np.array([1]), alpha=0.5)
+    assert t.pac[3] == pytest.approx(0.5 * 10.0 + 10.0)
+
+
+def test_invalid_alpha():
+    t = PacTracker(10)
+    with pytest.raises(ValueError):
+        t.update(np.array([0]), np.array([1.0]), np.array([1]), alpha=1.5)
+
+
+def test_sample_counter_advances():
+    t = PacTracker(10)
+    t.update(np.array([0, 1]), np.array([1.0, 1.0]), np.array([3, 4]))
+    assert t.sample_counter == 7
+    assert t.last_sample_counter[0] == 7
+
+
+def test_distance_cooling_halves_stale_pages():
+    t = PacTracker(10)
+    t.update(np.array([0]), np.array([8.0]), np.array([1]))
+    t.update(np.array([1]), np.array([4.0]), np.array([100]))
+    cooled = t.cool_distant(distance_threshold=50, factor=0.5)
+    assert cooled == 1  # page 0 is 100 samples behind
+    assert t.pac[0] == pytest.approx(4.0)
+    assert t.pac[1] == pytest.approx(4.0)  # fresh page untouched
+
+
+def test_distance_cooling_applies_once_per_episode():
+    t = PacTracker(10)
+    t.update(np.array([0]), np.array([8.0]), np.array([1]))
+    t.update(np.array([1]), np.array([4.0]), np.array([100]))
+    t.cool_distant(50, 0.5)
+    cooled_again = t.cool_distant(50, 0.5)
+    assert cooled_again == 0
+    assert t.pac[0] == pytest.approx(4.0)
+
+
+def test_distance_cooling_reset_mode():
+    t = PacTracker(10)
+    t.update(np.array([0]), np.array([8.0]), np.array([1]))
+    t.update(np.array([1]), np.array([4.0]), np.array([100]))
+    t.cool_distant(50, 0.0)
+    assert t.pac[0] == 0.0
+
+
+def test_invalid_distance_threshold():
+    t = PacTracker(10)
+    with pytest.raises(ValueError):
+        t.cool_distant(0, 0.5)
+
+
+def test_drop_forgets_pages():
+    t = PacTracker(10)
+    t.update(np.array([4, 5]), np.array([1.0, 2.0]), np.array([1, 1]))
+    t.drop(np.array([4]))
+    assert len(t) == 1
+    assert t.pac[4] == 0.0
+    assert list(t.tracked_pages()) == [5]
+
+
+def test_values_for_metrics():
+    t = PacTracker(10)
+    t.update(np.array([2]), np.array([9.0]), np.array([4]))
+    assert t.values_for(np.array([2]), "pac")[0] == 9.0
+    assert t.values_for(np.array([2]), "frequency")[0] == 4.0
+    with pytest.raises(ValueError):
+        t.values_for(np.array([2]), "hotness")
+
+
+def test_memory_overhead_accounting():
+    t = PacTracker(100)
+    t.update(np.arange(10), np.ones(10), np.ones(10, dtype=np.int64))
+    assert t.memory_overhead_bytes() == 250  # 25 B per tracked page (§4.6)
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 63), st.floats(0, 1e6), st.integers(1, 1000)),
+        max_size=50,
+    )
+)
+def test_pure_accumulation_equals_sum(updates):
+    """With alpha=1, PAC must equal the exact sum of attributions."""
+    t = PacTracker(64)
+    expected = np.zeros(64)
+    for page, stall, count in updates:
+        t.update(np.array([page]), np.array([stall]), np.array([count]))
+        expected[page] += stall
+    assert np.allclose(t.pac, expected)

@@ -1,0 +1,90 @@
+"""Edge-case coverage across the policy API, engine cache, and config."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import MachineConfig
+from repro.sim.engine import clear_baseline_cache, ideal_baseline
+from repro.sim.policy_api import Decision, no_pages
+from repro.workloads import MlcContender
+from repro.mem.page import Tier
+
+from conftest import TinyWorkload
+
+
+class TestDecision:
+    def test_none_is_empty(self):
+        assert Decision.none().empty
+
+    def test_promote_makes_nonempty(self):
+        assert not Decision(promote=np.array([1])).empty
+
+    def test_demote_lru_makes_nonempty(self):
+        assert not Decision(demote_lru=3).empty
+
+    def test_no_pages_is_int64(self):
+        arr = no_pages()
+        assert arr.size == 0 and arr.dtype == np.int64
+
+
+class TestBaselineCacheKeys:
+    def test_contention_distinguishes_baselines(self, config):
+        clear_baseline_cache()
+        quiet = ideal_baseline(TinyWorkload(), config=config)
+        loud = ideal_baseline(
+            TinyWorkload(), config=config, contender=MlcContender(threads=4)
+        )
+        assert quiet is not loud
+        assert loud.runtime_cycles > quiet.runtime_cycles
+
+    def test_contender_tier_distinguishes(self, config):
+        clear_baseline_cache()
+        fast_side = ideal_baseline(
+            TinyWorkload(), config=config, contender=MlcContender(threads=2, tier=Tier.FAST)
+        )
+        slow_side = ideal_baseline(
+            TinyWorkload(), config=config, contender=MlcContender(threads=2, tier=Tier.SLOW)
+        )
+        assert fast_side is not slow_side
+        # Slow-link noise does not stall an all-DRAM run.
+        assert fast_side.runtime_cycles > slow_side.runtime_cycles
+
+    def test_cache_bypass(self, config):
+        clear_baseline_cache()
+        a = ideal_baseline(TinyWorkload(), config=config, use_cache=False)
+        b = ideal_baseline(TinyWorkload(), config=config, use_cache=False)
+        assert a is not b
+        assert a.runtime_cycles == pytest.approx(b.runtime_cycles)
+
+
+class TestMigrationCostModel:
+    def test_mixed_batch_cost_composition(self):
+        cfg = MachineConfig()
+        only_pages = cfg.migration_cycles(pages_4k=100)
+        only_huge = cfg.migration_cycles(huge_pages=2)
+        both = cfg.migration_cycles(pages_4k=100, huge_pages=2)
+        assert both == pytest.approx(only_pages + only_huge)
+
+    def test_zero_migration_is_free(self):
+        assert MachineConfig().migration_cycles(0, 0) == 0.0
+
+    def test_slow_capacity_slack(self):
+        cfg = MachineConfig(slow_slack=1.5)
+        assert cfg.slow_capacity(1000) == 1500
+        # Slack below 1.0 is clamped: the slow tier always holds the footprint.
+        assert MachineConfig(slow_slack=0.5).slow_capacity(1000) == 1000
+
+
+class TestWorkloadGuards:
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(ValueError):
+            TinyWorkload(total_misses=0)
+        with pytest.raises(ValueError):
+            TinyWorkload(footprint_pages=0)
+
+    def test_progress_clamps_to_one(self):
+        w = TinyWorkload()
+        w.reset()
+        w._consumed = w.total_misses * 2
+        assert w.progress == 1.0
+        assert w.done

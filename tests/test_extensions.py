@@ -1,0 +1,126 @@
+"""Trace replay, multi-seed statistics, and terminal charts."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.repeat import RepeatedResult, repeat_runs, significantly_better
+from repro.common.charts import bar_chart, series_with_sparkline, sparkline
+from repro.sim.config import MachineConfig
+from repro.sim.engine import clear_baseline_cache, ideal_baseline, run_policy
+from repro.sim.machine import Machine
+from repro.sim.policy_api import NoTierPolicy
+from repro.workloads.tracefile import (
+    TraceWorkload,
+    record_trace,
+    write_trace,
+)
+
+from conftest import TinyWorkload
+
+
+def small_trace():
+    return {
+        "name": "toy",
+        "footprint_pages": 16,
+        "windows": [
+            {"groups": [{"pages": [0, 1], "counts": [5, 3], "mlp": 2.0}]},
+            {"groups": [{"pages": [8, 9], "counts": [4, 4], "mlp": 8.0, "label": "s"}]},
+        ],
+    }
+
+
+class TestTraceWorkload:
+    def test_replays_windows_exactly(self):
+        w = TraceWorkload(small_trace(), loop=False)
+        w.reset()
+        first = w.next_window()
+        assert list(first.groups[0].pages) == [0, 1]
+        assert first.groups[0].total_misses == 8
+        second = w.next_window()
+        assert second.groups[0].mlp == 8.0
+        assert w.done
+
+    def test_looping_stretches_work(self):
+        w = TraceWorkload(small_trace(), loop=True)
+        w.set_total_misses(64)  # 16 misses per loop -> 4 loops
+        w.reset()
+        windows = 0
+        while not w.done and windows < 50:
+            w.next_window()
+            windows += 1
+        assert windows == 8
+
+    def test_validation(self):
+        bad = small_trace()
+        bad["windows"][0]["groups"][0]["pages"] = [99]  # outside footprint
+        with pytest.raises(ValueError):
+            TraceWorkload(bad)
+        with pytest.raises(ValueError):
+            TraceWorkload({"footprint_pages": 4, "windows": []})
+
+    def test_record_and_replay_round_trip(self, config):
+        source = TinyWorkload()
+        trace = record_trace(source, windows=4)
+        assert len(trace["windows"]) == 4
+        replay = TraceWorkload(trace, loop=False)
+        result = Machine(replay, NoTierPolicy(), config=config).run()
+        assert result.windows == 4
+        assert result.total_misses > 0
+
+    def test_file_round_trip(self, tmp_path):
+        path = write_trace(small_trace(), tmp_path / "t.json")
+        w = TraceWorkload.from_file(path, loop=False)
+        assert w.footprint_pages == 16
+
+    def test_runs_under_pact(self, config):
+        clear_baseline_cache()
+        trace = record_trace(TinyWorkload(), windows=12)
+        from repro.baselines import make_policy
+
+        workload = TraceWorkload(trace, loop=False)
+        baseline = ideal_baseline(TraceWorkload(trace, loop=False), config=config)
+        result = run_policy(workload, make_policy("PACT"), ratio="1:2", config=config)
+        assert result.slowdown(baseline) < 1.5
+
+
+class TestRepeat:
+    def test_statistics(self):
+        clear_baseline_cache()
+        rep = repeat_runs(TinyWorkload, "PACT", ratio="1:2", seeds=(0, 1, 2))
+        assert rep.n == 3
+        assert rep.mean_slowdown > 0
+        assert rep.ci95_slowdown >= 0
+        assert "PACT" in rep.summary()
+
+    def test_single_seed_has_zero_ci(self):
+        rep = RepeatedResult("w", "p", "1:1", np.array([0.2]), np.array([10.0]))
+        assert rep.ci95_slowdown == 0.0
+        assert rep.std_slowdown == 0.0
+
+    def test_significance_helper(self):
+        a = RepeatedResult("w", "a", "1:1", np.array([0.10, 0.11, 0.09]), np.zeros(3))
+        b = RepeatedResult("w", "b", "1:1", np.array([0.50, 0.52, 0.48]), np.zeros(3))
+        assert significantly_better(a, b)
+        assert not significantly_better(b, a)
+        assert not significantly_better(a, a)
+
+
+class TestCharts:
+    def test_sparkline_shape(self):
+        line = sparkline([0, 1, 2, 3])
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_sparkline_flat_and_empty(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+        assert sparkline([]) == ""
+
+    def test_bar_chart(self):
+        out = bar_chart({"PACT": 0.1, "TPP": 0.4})
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_series_with_sparkline(self):
+        out = series_with_sparkline("promos", [1.0, 2.0])
+        assert "promos" in out and "max 2" in out

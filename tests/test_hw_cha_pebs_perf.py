@@ -1,0 +1,172 @@
+"""CHA/TOR counters, PEBS sampler, and the perf registry."""
+
+import numpy as np
+import pytest
+
+from repro.common.units import CXL_SPEC, DRAM_SPEC
+from repro.hw.cha import ChaTorCounters, littles_law_mlp
+from repro.hw.pebs import PebsBatch, PebsSampler
+from repro.hw.perf import PerfCounters
+from repro.hw.stall import GroupTierShare, StallModel
+from repro.mem.page import Tier
+
+
+def solved_shares(mlp=4.0, misses=40_000, tier=Tier.SLOW, load_fraction=1.0):
+    pages = np.arange(64)
+    counts = np.full(64, misses // 64, dtype=np.int64)
+    share = GroupTierShare(
+        group_index=0, tier=tier, pages=pages, counts=counts, mlp=mlp,
+        load_fraction=load_fraction,
+    )
+    model = StallModel(DRAM_SPEC, CXL_SPEC)
+    return model.solve([share], compute_cycles=1e6).shares
+
+
+class TestTorCounters:
+    def test_mlp_recovered_from_deltas(self):
+        cha = ChaTorCounters(noise=0.0)
+        before = cha.read()
+        cha.advance(solved_shares(mlp=6.0))
+        after = cha.read()
+        assert after.mlp_since(before, Tier.SLOW) == pytest.approx(6.0, rel=0.01)
+
+    def test_mlp_with_noise_close(self):
+        cha = ChaTorCounters(noise=0.02, rng=np.random.default_rng(1))
+        before = cha.read()
+        cha.advance(solved_shares(mlp=4.0))
+        after = cha.read()
+        assert after.mlp_since(before, Tier.SLOW) == pytest.approx(4.0, rel=0.15)
+
+    def test_counters_are_cumulative(self):
+        cha = ChaTorCounters(noise=0.0)
+        cha.advance(solved_shares())
+        mid = cha.read()
+        cha.advance(solved_shares())
+        end = cha.read()
+        assert end.occupancy[Tier.SLOW] > mid.occupancy[Tier.SLOW]
+
+    def test_idle_tier_reports_unit_mlp(self):
+        cha = ChaTorCounters(noise=0.0)
+        before = cha.read()
+        cha.advance(solved_shares(tier=Tier.SLOW))
+        after = cha.read()
+        assert after.mlp_since(before, Tier.FAST) == 1.0
+
+    def test_mlp_floor_is_one(self):
+        cha = ChaTorCounters(noise=0.0)
+        snap = cha.read()
+        assert snap.mlp_since(snap, Tier.SLOW) == 1.0
+
+
+class TestLittlesLaw:
+    def test_matches_formula(self):
+        # 64 bytes/ns over 100ns latency -> 100 lines in flight.
+        assert littles_law_mlp(64.0 * 1000, 100.0, 1000.0) == pytest.approx(100.0)
+
+    def test_floor(self):
+        assert littles_law_mlp(0.0, 100.0, 1000.0) == 1.0
+        assert littles_law_mlp(100.0, 100.0, 0.0) == 1.0
+
+    def test_overestimates_with_prefetch_bytes(self):
+        demand = littles_law_mlp(1e6, 190.0, 1e5)
+        with_prefetch = littles_law_mlp(1.5e6, 190.0, 1e5)
+        assert with_prefetch > demand
+
+
+class TestPebs:
+    def test_sampling_rate_statistics(self):
+        sampler = PebsSampler(rate=100, rng=np.random.default_rng(0))
+        batch = sampler.sample(solved_shares(misses=640_000))
+        # ~1% of events sampled.
+        assert batch.total_records == pytest.approx(6400, rel=0.1)
+        assert batch.estimated_accesses().sum() == pytest.approx(640_000, rel=0.1)
+
+    def test_only_requested_tiers_sampled(self):
+        sampler = PebsSampler(rate=10, rng=np.random.default_rng(0))
+        shares = solved_shares(tier=Tier.FAST)
+        batch = sampler.sample(shares, tiers=(Tier.SLOW,))
+        assert batch.total_records == 0
+        both = sampler.sample(shares, tiers=(Tier.SLOW, Tier.FAST))
+        assert both.total_records > 0
+
+    def test_loads_only_thins_write_traffic(self):
+        rng = np.random.default_rng(0)
+        all_loads = PebsSampler(rate=10, rng=np.random.default_rng(0)).sample(
+            solved_shares(load_fraction=1.0)
+        )
+        half_loads = PebsSampler(rate=10, rng=rng).sample(
+            solved_shares(load_fraction=0.5)
+        )
+        assert half_loads.total_records < all_loads.total_records * 0.7
+
+    def test_overhead_scales_with_records(self):
+        sampler = PebsSampler(rate=10, cycles_per_record=100.0, rng=np.random.default_rng(0))
+        batch = sampler.sample(solved_shares())
+        assert batch.overhead_cycles == batch.total_records * 100.0
+
+    def test_empty_batch(self):
+        batch = PebsBatch.empty(rate=400)
+        assert batch.total_records == 0
+        assert batch.rate == 400
+
+    def test_latency_reporting(self):
+        sampler = PebsSampler(rate=5, rng=np.random.default_rng(0), report_latency=True)
+        shares = solved_shares(mlp=4.0)
+        batch = sampler.sample(shares)
+        assert batch.latencies is not None
+        # Exposed latency = effective latency / MLP = unit stall cost.
+        assert batch.latencies[0] == pytest.approx(shares[0].unit_stall_cycles, rel=1e-6)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            PebsSampler(rate=0)
+
+    def test_merges_duplicate_pages_across_groups(self):
+        model = StallModel(DRAM_SPEC, CXL_SPEC)
+        pages = np.arange(8)
+        shares = [
+            GroupTierShare(0, Tier.SLOW, pages, np.full(8, 5000, dtype=np.int64), 2.0),
+            GroupTierShare(1, Tier.SLOW, pages, np.full(8, 5000, dtype=np.int64), 8.0),
+        ]
+        solved = model.solve(shares, 1e6).shares
+        batch = PebsSampler(rate=10, rng=np.random.default_rng(0)).sample(solved)
+        assert np.unique(batch.pages).size == batch.pages.size
+
+
+class TestPerfCounters:
+    def test_deltas(self):
+        model = StallModel(DRAM_SPEC, CXL_SPEC)
+        perf = PerfCounters(noise=0.0)
+        shares = solved_shares()
+        out = model.solve(shares, compute_cycles=1e6)
+        before = perf.read()
+        perf.advance(out)
+        delta = perf.read().delta(before)
+        assert delta.llc_misses[Tier.SLOW] == pytest.approx(
+            out.tier_loads[Tier.SLOW].misses, rel=1e-6
+        )
+        assert delta.stall_cycles[Tier.SLOW] == pytest.approx(
+            out.tier_loads[Tier.SLOW].stall_cycles, rel=1e-6
+        )
+        assert delta.cycles == pytest.approx(out.duration_cycles)
+
+    def test_totals(self):
+        model = StallModel(DRAM_SPEC, CXL_SPEC)
+        perf = PerfCounters(noise=0.0)
+        out = model.solve(solved_shares(), compute_cycles=1e6)
+        before = perf.read()
+        perf.advance(out)
+        delta = perf.read().delta(before)
+        assert delta.total_llc_misses == pytest.approx(sum(delta.llc_misses.values()))
+        assert delta.total_stall_cycles == pytest.approx(sum(delta.stall_cycles.values()))
+
+    def test_noise_is_small_multiplicative(self):
+        model = StallModel(DRAM_SPEC, CXL_SPEC)
+        perf = PerfCounters(noise=0.01, rng=np.random.default_rng(0))
+        out = model.solve(solved_shares(misses=1_000_000), compute_cycles=1e6)
+        before = perf.read()
+        perf.advance(out)
+        delta = perf.read().delta(before)
+        truth = out.tier_loads[Tier.SLOW].misses
+        assert delta.llc_misses[Tier.SLOW] == pytest.approx(truth, rel=0.05)
+        assert delta.llc_misses[Tier.SLOW] != truth

@@ -1,0 +1,214 @@
+"""End-to-end integration tests asserting the paper's headline shapes.
+
+These use reduced work budgets so the whole module runs in well under a
+minute, but exercise the full pipeline: workload -> hardware -> counters
+-> policy -> migration -> runtime.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import make_policy
+from repro.mem.page import Tier
+from repro.sim.config import MachineConfig
+from repro.sim.engine import clear_baseline_cache, ideal_baseline, run_policy, slow_only_run
+from repro.sim.machine import Machine
+from repro.workloads import ColocatedWorkload, Masim, MlcContender, make_workload
+
+WORK = 12_000_000  # misses per run: ~48 windows
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_cache():
+    clear_baseline_cache()
+
+
+def bckron():
+    return make_workload("bc-kron", total_misses=WORK)
+
+
+@pytest.fixture(scope="module")
+def bckron_baseline():
+    return ideal_baseline(bckron())
+
+
+class TestBcKronShapes:
+    """Figure 4 / Table 2 shapes on the flagship workload."""
+
+    def test_pact_beats_hotness_baselines_at_one_to_one(self, bckron_baseline):
+        pact = run_policy(bckron(), make_policy("PACT"), ratio="1:1")
+        for name in ("Colloid", "NBT", "TPP", "Nomad"):
+            other = run_policy(bckron(), make_policy(name), ratio="1:1")
+            assert pact.slowdown(bckron_baseline) < other.slowdown(bckron_baseline), name
+
+    def test_pact_beats_notier_at_every_ratio(self, bckron_baseline):
+        for ratio in ("8:1", "1:1", "1:8"):
+            pact = run_policy(bckron(), make_policy("PACT"), ratio=ratio)
+            notier = run_policy(bckron(), make_policy("NoTier"), ratio=ratio)
+            assert pact.slowdown(bckron_baseline) < notier.slowdown(bckron_baseline)
+
+    def test_notier_is_flat_bad(self, bckron_baseline):
+        generous = run_policy(bckron(), make_policy("NoTier"), ratio="8:1")
+        tight = run_policy(bckron(), make_policy("NoTier"), ratio="1:8")
+        assert generous.slowdown(bckron_baseline) > 0.2
+        assert tight.slowdown(bckron_baseline) < 0.8
+
+    def test_slow_only_bounds_notier(self, bckron_baseline):
+        cxl = slow_only_run(bckron())
+        notier = run_policy(bckron(), make_policy("NoTier"), ratio="1:8")
+        assert notier.slowdown(bckron_baseline) <= cxl.slowdown(bckron_baseline) * 1.05
+
+    def test_colloid_migrates_multiples_of_pact_under_pressure(self):
+        pact = run_policy(bckron(), make_policy("PACT"), ratio="1:8")
+        colloid = run_policy(bckron(), make_policy("Colloid"), ratio="1:8")
+        assert colloid.promoted > 2 * pact.promoted
+
+    def test_tpp_catastrophic(self, bckron_baseline):
+        tpp = run_policy(bckron(), make_policy("TPP"), ratio="1:1")
+        notier = run_policy(bckron(), make_policy("NoTier"), ratio="1:1")
+        assert tpp.slowdown(bckron_baseline) > 2 * notier.slowdown(bckron_baseline)
+        assert tpp.promoted > 20 * max(
+            run_policy(bckron(), make_policy("PACT"), ratio="1:1").promoted, 1
+        )
+
+
+class TestGpt2Signature:
+    """§5.3: on gpt-2 every hotness system loses to first-touch; PACT wins."""
+
+    def test_pact_only_system_beating_notier(self):
+        workload = make_workload("gpt-2", total_misses=WORK)
+        base = ideal_baseline(workload)
+        notier = run_policy(workload, make_policy("NoTier"), ratio="1:1").slowdown(base)
+        pact = run_policy(workload, make_policy("PACT"), ratio="1:1").slowdown(base)
+        assert pact < notier
+        for name in ("Colloid", "NBT", "Nomad"):
+            other = run_policy(workload, make_policy(name), ratio="1:1").slowdown(base)
+            assert other > notier * 0.98, name
+
+
+class TestPacVsFrequency:
+    """§5.6: PAC-based selection beats frequency-based selection."""
+
+    def test_pac_never_loses_to_frequency(self):
+        for wname in ("bc-urand", "bc-kron"):
+            workload = make_workload(wname, total_misses=WORK)
+            base = ideal_baseline(workload)
+            pact = run_policy(workload, make_policy("PACT"), ratio="1:2").slowdown(base)
+            freq = run_policy(workload, make_policy("Frequency"), ratio="1:2").slowdown(base)
+            assert pact <= freq * 1.03, wname
+
+    def test_pac_wins_when_frequency_misleads(self):
+        workload = make_workload("bc-urand", total_misses=WORK)
+        base = ideal_baseline(workload)
+        pact = run_policy(workload, make_policy("PACT"), ratio="1:4").slowdown(base)
+        freq = run_policy(workload, make_policy("Frequency"), ratio="1:4").slowdown(base)
+        assert pact < freq
+
+
+class TestBandwidthContention:
+    """§5.8: PACT stays effective under MLC bandwidth pressure."""
+
+    def test_contention_inflates_runtime(self):
+        workload = bckron()
+        quiet = ideal_baseline(workload)
+        noisy = ideal_baseline(workload, contender=MlcContender(threads=8))
+        assert noisy.runtime_cycles > quiet.runtime_cycles * 1.1
+
+    def test_pact_at_least_matches_colloid_under_contention(self):
+        contender = MlcContender(threads=4)
+        workload = bckron()
+        base = ideal_baseline(workload, contender=contender)
+        pact = run_policy(workload, make_policy("PACT"), ratio="1:1", contender=contender)
+        colloid = run_policy(workload, make_policy("Colloid"), ratio="1:1", contender=contender)
+        # Saturated DRAM compresses all slowdowns toward zero; compare
+        # with an absolute tolerance rather than a ratio.
+        assert pact.slowdown(base) <= colloid.slowdown(base) + 0.02
+
+    def test_fewer_migrations_than_colloid_under_mild_contention(self):
+        contender = MlcContender(threads=1)
+        pact = run_policy(bckron(), make_policy("PACT"), ratio="1:2", contender=contender)
+        colloid = run_policy(bckron(), make_policy("Colloid"), ratio="1:2", contender=contender)
+        assert pact.promoted < colloid.promoted
+
+
+class TestColocation:
+    """§5.9: uniform attribution stays effective with mixed patterns."""
+
+    @pytest.fixture(scope="class")
+    def colo(self):
+        def build():
+            return ColocatedWorkload(
+                [
+                    # The prefetched streaming process retires loads
+                    # ~1.7x faster than the serialised chaser, so it
+                    # finishes its work earlier -- the asymmetry that
+                    # lets phase-level attribution separate the two.
+                    Masim(pattern="sequential", footprint_pages=4096,
+                          total_misses=WORK // 2, misses_per_window=160_000, seed=31),
+                    Masim(pattern="random", footprint_pages=4096,
+                          total_misses=WORK // 2, misses_per_window=95_000, seed=32),
+                ]
+            )
+        return build
+
+    def test_pact_prioritises_the_low_mlp_process(self, colo):
+        workload = colo()
+        machine = Machine(workload, make_policy("PACT"), ratio="1:1", seed=3)
+        machine.run()
+        fast = machine.memory.pages_in_tier(Tier.FAST)
+        random_pages = int((fast >= 4096).sum())
+        sequential_pages = int((fast < 4096).sum())
+        assert random_pages > sequential_pages
+
+    def test_pact_beats_colloid_with_fewer_promotions(self, colo):
+        base = ideal_baseline(colo())
+        pact = run_policy(colo(), make_policy("PACT"), ratio="1:1")
+        colloid = run_policy(colo(), make_policy("Colloid"), ratio="1:1")
+        assert pact.slowdown(base) <= colloid.slowdown(base) * 1.05
+        assert pact.promoted < colloid.promoted
+
+
+class TestThp:
+    """Figure 5: PACT remains effective with 2MB pages; Memtis improves."""
+
+    def test_pact_works_under_thp(self):
+        cfg = MachineConfig(thp=True)
+        workload = bckron()
+        base = ideal_baseline(workload, config=cfg)
+        pact = run_policy(workload, make_policy("PACT"), ratio="1:1", config=cfg)
+        notier = run_policy(workload, make_policy("NoTier"), ratio="1:1", config=cfg)
+        assert pact.slowdown(base) < notier.slowdown(base)
+
+    def test_thp_migrations_are_huge_page_aligned(self):
+        cfg = MachineConfig(thp=True)
+        workload = bckron()
+        machine = Machine(workload, make_policy("PACT"), config=cfg, ratio="1:1")
+        machine.run(max_windows=20)
+        # Promotions counted in 4KB pages must be multiples of whole-2MB
+        # moves except where the footprint edge clips a huge page.
+        assert machine.engine.total_promoted % 512 in range(0, 512)
+
+
+class TestSensitivityDirections:
+    """Figure 10 directional claims."""
+
+    def test_sparser_pebs_sampling_degrades(self):
+        workload = bckron()
+        dense_cfg = MachineConfig(pebs_rate=200)
+        sparse_cfg = MachineConfig(pebs_rate=4000)
+        dense = run_policy(workload, make_policy("PACT"), ratio="1:2", config=dense_cfg)
+        sparse = run_policy(workload, make_policy("PACT"), ratio="1:2", config=sparse_cfg)
+        dense_base = ideal_baseline(workload, config=dense_cfg)
+        sparse_base = ideal_baseline(workload, config=sparse_cfg)
+        assert dense.slowdown(dense_base) <= sparse.slowdown(sparse_base) * 1.1
+
+    def test_longer_period_not_better(self):
+        workload = bckron()
+        base = ideal_baseline(workload)
+        short = run_policy(
+            workload, make_policy("PACT", period_windows=1), ratio="1:2"
+        )
+        long = run_policy(
+            workload, make_policy("PACT", period_windows=20), ratio="1:2"
+        )
+        assert short.slowdown(base) <= long.slowdown(base) * 1.05

@@ -1,0 +1,85 @@
+"""Property-based invariants of the full simulation machine.
+
+These drive the machine with randomised decision streams and assert the
+invariants no policy, however adversarial, may break: placement
+consistency, capacity bounds, monotone counters, work conservation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.page import Tier, UNALLOCATED
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.sim.policy_api import Decision, Observation, TieringPolicy
+
+from conftest import TinyWorkload, assert_placement_consistent
+
+
+class RandomPolicy(TieringPolicy):
+    """Migrates random page sets each window (fuzzing adversary)."""
+
+    name = "random-fuzzer"
+    synchronous_migration = True
+
+    def __init__(self, seed, footprint):
+        self._rng = np.random.default_rng(seed)
+        self._footprint = footprint
+
+    def observe(self, obs: Observation) -> Decision:
+        n_promote = int(self._rng.integers(0, 60))
+        n_demote = int(self._rng.integers(0, 60))
+        mode = ("cold", "lru_tail", "fifo")[int(self._rng.integers(0, 3))]
+        return Decision(
+            promote=self._rng.integers(0, self._footprint, size=n_promote),
+            demote=self._rng.integers(0, self._footprint, size=n_demote),
+            demote_lru=int(self._rng.integers(0, 20)),
+            demote_victim_mode=mode,
+        )
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10**6), thp=st.booleans())
+def test_random_migration_preserves_invariants(seed, thp):
+    workload = TinyWorkload(footprint_pages=1024, total_misses=150_000,
+                            misses_per_window=30_000)
+    config = MachineConfig(thp=thp)
+    machine = Machine(workload, RandomPolicy(seed, 1024), config=config, ratio="1:2",
+                      seed=seed)
+    result = machine.run()
+    assert_placement_consistent(machine.memory)
+    # Every page stays allocated exactly once.
+    assert (machine.memory.placement != UNALLOCATED).all()
+    # Runtime and counters are sane and monotone.
+    assert result.runtime_cycles > 0
+    assert result.total_misses == pytest.approx(workload.total_misses, rel=0.1)
+    assert result.promoted == machine.engine.total_promoted
+    assert result.migration_cost_cycles >= 0
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_runtime_never_below_ideal(seed):
+    """No policy can make a constrained machine faster than all-DRAM."""
+    config = MachineConfig()
+    ideal = Machine(
+        TinyWorkload(), RandomPolicy(seed, 512), config=config,
+        fast_capacity_override=512, seed=seed,
+    ).run()
+    constrained = Machine(
+        TinyWorkload(), RandomPolicy(seed, 512), config=config, ratio="1:3", seed=seed
+    ).run()
+    assert constrained.runtime_cycles >= ideal.runtime_cycles * 0.98
+
+
+def test_work_conservation_across_policies(config):
+    """Total emitted misses are identical whatever the policy does."""
+    totals = []
+    for seed in (1, 2):
+        machine = Machine(TinyWorkload(), RandomPolicy(seed, 512), config=config,
+                          ratio="1:1", seed=seed)
+        result = machine.run()
+        totals.append(result.windows)
+    assert totals[0] == totals[1]

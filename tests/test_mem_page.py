@@ -1,0 +1,71 @@
+"""Page geometry, huge-page expansion, object regions."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mem.page import (
+    HUGE_SHIFT,
+    ObjectRegion,
+    Tier,
+    expand_huge_pages,
+    huge_page_of,
+)
+
+
+def test_tier_values():
+    assert int(Tier.FAST) == 0
+    assert int(Tier.SLOW) == 1
+
+
+def test_huge_shift_is_512_pages():
+    assert 1 << HUGE_SHIFT == 512
+
+
+def test_huge_page_of():
+    pages = np.array([0, 511, 512, 1023, 1024])
+    assert list(huge_page_of(pages)) == [0, 0, 1, 1, 2]
+
+
+def test_expand_huge_pages_full_regions():
+    pages = expand_huge_pages(np.array([1]), footprint_pages=2048)
+    assert pages.size == 512
+    assert pages.min() == 512
+    assert pages.max() == 1023
+
+
+def test_expand_huge_pages_clips_to_footprint():
+    pages = expand_huge_pages(np.array([1]), footprint_pages=700)
+    assert pages.size == 700 - 512
+    assert pages.max() == 699
+
+
+def test_expand_deduplicates():
+    pages = expand_huge_pages(np.array([0, 0, 1]), footprint_pages=2048)
+    assert pages.size == 1024
+    assert np.unique(pages).size == 1024
+
+
+@given(st.integers(0, 10_000))
+def test_huge_page_roundtrip(page):
+    huge = huge_page_of(np.array([page]))[0]
+    expanded = expand_huge_pages(np.array([huge]), footprint_pages=10_512)
+    assert page in expanded
+
+
+class TestObjectRegion:
+    def test_pages_and_bounds(self):
+        r = ObjectRegion("heap", 10, 5)
+        assert list(r.pages()) == [10, 11, 12, 13, 14]
+        assert r.end_page == 15
+        assert r.contains(10) and r.contains(14)
+        assert not r.contains(15) and not r.contains(9)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ObjectRegion("x", 0, 0)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            ObjectRegion("x", -1, 4)

@@ -1,0 +1,95 @@
+"""Runner helpers, baseline caching, and the slowdown metric."""
+
+import pytest
+
+from repro.sim.config import MachineConfig
+from repro.sim.engine import (
+    clear_baseline_cache,
+    ideal_baseline,
+    run_policy,
+    slow_only_run,
+)
+from repro.sim.metrics import RunResult, improvement
+from repro.sim.policy_api import NoTierPolicy
+
+from conftest import TinyWorkload
+
+
+def make_result(runtime, promoted=0):
+    return RunResult(
+        workload="w",
+        policy="p",
+        ratio="1:1",
+        runtime_cycles=runtime,
+        windows=10,
+        promoted=promoted,
+        demoted=promoted,
+        migration_cost_cycles=0.0,
+        total_stall_cycles=0.0,
+        total_misses=0.0,
+        tier_misses={},
+    )
+
+
+class TestMetrics:
+    def test_slowdown(self):
+        assert make_result(150.0).slowdown(make_result(100.0)) == pytest.approx(0.5)
+
+    def test_slowdown_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            make_result(100.0).slowdown(make_result(0.0))
+
+    def test_speedup_over(self):
+        fast, slow = make_result(100.0), make_result(150.0)
+        assert fast.speedup_over(slow) == pytest.approx(0.5)
+
+    def test_improvement_from_slowdowns(self):
+        # Self at 20% slowdown vs other at 50%: (1.5/1.2) - 1 = 25%.
+        assert improvement(0.2, 0.5) == pytest.approx(0.25)
+
+    def test_improvement_negative_when_worse(self):
+        assert improvement(0.5, 0.2) < 0
+
+    def test_runtime_ms(self):
+        assert make_result(2.2e6).runtime_ms == pytest.approx(1.0)
+
+
+class TestRunner:
+    def test_ideal_baseline_has_no_slow_traffic(self, config):
+        clear_baseline_cache()
+        workload = TinyWorkload()
+        base = ideal_baseline(workload, config=config)
+        from repro.mem.page import Tier
+
+        assert base.tier_misses[Tier.SLOW] == 0.0
+        assert base.tier_misses[Tier.FAST] > 0.0
+
+    def test_slow_only_run_slower_than_ideal(self, config):
+        clear_baseline_cache()
+        workload = TinyWorkload()
+        base = ideal_baseline(workload, config=config)
+        slow = slow_only_run(workload, config=config)
+        assert slow.slowdown(base) > 0.1
+
+    def test_baseline_cached(self, config):
+        clear_baseline_cache()
+        workload = TinyWorkload()
+        a = ideal_baseline(workload, config=config)
+        b = ideal_baseline(workload, config=config)
+        assert a is b
+
+    def test_cache_key_distinguishes_configs(self, config):
+        clear_baseline_cache()
+        workload = TinyWorkload()
+        a = ideal_baseline(workload, config=config)
+        b = ideal_baseline(workload, config=config.with_(counter_noise=0.02))
+        assert a is not b
+
+    def test_run_policy_end_to_end(self, config):
+        clear_baseline_cache()
+        workload = TinyWorkload()
+        base = ideal_baseline(workload, config=config)
+        result = run_policy(workload, NoTierPolicy(), ratio="1:1", config=config)
+        assert 0.0 < result.slowdown(base) < 2.0
+        assert result.policy == "NoTier"
+        assert result.ratio == "1:1"
