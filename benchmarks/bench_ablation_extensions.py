@@ -14,28 +14,33 @@ three choices these benches quantify:
 
 from __future__ import annotations
 
-from repro.baselines import make_policy
 from repro.common.tables import format_table
-from repro.sim.engine import ideal_baseline, run_policy
-from repro.sim.machine import Machine
+from repro.exp import RunRequest, run_requests
+from repro.exp.spec import PolicySpec, WorkloadSpec
 from repro.workloads import ColocatedWorkload, Masim
 
-from conftest import BENCH_WORK, bench_workload, emit, once
+from conftest import BENCH_JOBS, BENCH_WORK, bench_spec, emit, once
 
 
 def test_ablation_eager_demotion_margin(benchmark, config):
-    def run():
-        rows = []
-        baseline = ideal_baseline(bench_workload("bc-kron"), config=config)
-        for m in (0, 16, 64, 256):
-            res = run_policy(
-                bench_workload("bc-kron"), make_policy("PACT", m=m), ratio="1:2",
-                config=config,
-            )
-            rows.append([m, f"{res.slowdown(baseline):.3f}", res.promoted, res.demoted])
-        return rows
-
-    rows = once(benchmark, run)
+    bckron = bench_spec("bc-kron")
+    margins = (0, 16, 64, 256)
+    base_req = RunRequest.ideal(bckron, config=config)
+    reqs = {
+        m: RunRequest(
+            workload=bckron, policy=PolicySpec("PACT", {"m": m}),
+            ratio="1:2", config=config,
+        )
+        for m in margins
+    }
+    exp = once(
+        benchmark, lambda: run_requests([base_req, *reqs.values()], jobs=BENCH_JOBS)
+    )
+    baseline = exp[base_req]
+    rows = [
+        [m, f"{exp[req].slowdown(baseline):.3f}", exp[req].promoted, exp[req].demoted]
+        for m, req in reqs.items()
+    ]
     report = format_table(["m (demote-ahead)", "slowdown", "promoted", "demoted"], rows)
     report += (
         "\n\nm=0 is the conservative default (§4.4.2); larger m demotes ahead"
@@ -59,16 +64,20 @@ def _colocation():
 
 
 def test_ablation_latency_weighted_attribution(benchmark, config):
-    def run():
-        baseline = ideal_baseline(_colocation(), config=config)
-        plain = run_policy(_colocation(), make_policy("PACT"), ratio="1:1", config=config)
-        weighted = run_policy(
-            _colocation(), make_policy("PACT", latency_weighted=True), ratio="1:1",
-            config=config,
-        )
-        return baseline, plain, weighted
-
-    baseline, plain, weighted = once(benchmark, run)
+    coloc = WorkloadSpec.from_factory(_colocation, label="masim-coloc-ablation")
+    base_req = RunRequest.ideal(coloc, config=config)
+    plain_req = RunRequest(
+        workload=coloc, policy=PolicySpec("PACT"), ratio="1:1", config=config
+    )
+    weighted_req = RunRequest(
+        workload=coloc, policy=PolicySpec("PACT", {"latency_weighted": True}),
+        ratio="1:1", config=config,
+    )
+    exp = once(
+        benchmark,
+        lambda: run_requests([base_req, plain_req, weighted_req], jobs=BENCH_JOBS),
+    )
+    baseline, plain, weighted = exp[base_req], exp[plain_req], exp[weighted_req]
     report = format_table(
         ["attribution", "slowdown", "promotions"],
         [
@@ -86,20 +95,24 @@ def test_ablation_latency_weighted_attribution(benchmark, config):
 
 
 def test_ablation_promotion_cooldown(benchmark, config):
-    def run():
-        baseline = ideal_baseline(bench_workload("bc-kron"), config=config)
-        rows = []
-        for cooldown in (0, 5, 20, 100):
-            res = run_policy(
-                bench_workload("bc-kron"),
-                make_policy("PACT", promotion_cooldown_windows=cooldown),
-                ratio="1:4",
-                config=config,
-            )
-            rows.append([cooldown, f"{res.slowdown(baseline):.3f}", res.promoted])
-        return rows
-
-    rows = once(benchmark, run)
+    bckron = bench_spec("bc-kron")
+    base_req = RunRequest.ideal(bckron, config=config)
+    reqs = {
+        cooldown: RunRequest(
+            workload=bckron,
+            policy=PolicySpec("PACT", {"promotion_cooldown_windows": cooldown}),
+            ratio="1:4", config=config,
+        )
+        for cooldown in (0, 5, 20, 100)
+    }
+    exp = once(
+        benchmark, lambda: run_requests([base_req, *reqs.values()], jobs=BENCH_JOBS)
+    )
+    baseline = exp[base_req]
+    rows = [
+        [cooldown, f"{exp[req].slowdown(baseline):.3f}", exp[req].promoted]
+        for cooldown, req in reqs.items()
+    ]
     report = format_table(["cooldown (windows)", "slowdown", "promotions"], rows)
     emit("ablation_promotion_cooldown", report)
     # Performance is robust across the cooldown range (no tuning cliff).
@@ -113,27 +126,29 @@ def test_ablation_hardware_backends(benchmark, config):
     * TOR counters vs Little's-law MLP (Intel vs AMD measurement path),
     * PEBS event sampling vs CHMU controller-side counting (CXL 3.2).
     """
-
-    def run():
-        baseline = ideal_baseline(bench_workload("bc-kron"), config=config)
-        rows = []
-        variants = {
-            "TOR + PEBS (default)": {},
-            "Little's-law MLP (AMD path)": {"mlp_source": "littles_law"},
-            "CHMU access sampling": {"access_sampler": "chmu"},
-            "Little's-law + CHMU": {"mlp_source": "littles_law", "access_sampler": "chmu"},
-        }
-        for label, kwargs in variants.items():
-            res = run_policy(
-                bench_workload("bc-kron"),
-                make_policy("PACT", **kwargs),
-                ratio="1:2",
-                config=config,
-            )
-            rows.append([label, f"{res.slowdown(baseline):.3f}", res.promoted])
-        return rows
-
-    rows = once(benchmark, run)
+    variants = {
+        "TOR + PEBS (default)": {},
+        "Little's-law MLP (AMD path)": {"mlp_source": "littles_law"},
+        "CHMU access sampling": {"access_sampler": "chmu"},
+        "Little's-law + CHMU": {"mlp_source": "littles_law", "access_sampler": "chmu"},
+    }
+    bckron = bench_spec("bc-kron")
+    base_req = RunRequest.ideal(bckron, config=config)
+    reqs = {
+        label: RunRequest(
+            workload=bckron, policy=PolicySpec("PACT", dict(kwargs)),
+            ratio="1:2", config=config,
+        )
+        for label, kwargs in variants.items()
+    }
+    exp = once(
+        benchmark, lambda: run_requests([base_req, *reqs.values()], jobs=BENCH_JOBS)
+    )
+    baseline = exp[base_req]
+    rows = [
+        [label, f"{exp[req].slowdown(baseline):.3f}", exp[req].promoted]
+        for label, req in reqs.items()
+    ]
     report = format_table(["hardware backend", "slowdown", "promotions"], rows)
     report += (
         "\n\nPAC needs MLP's temporal variation, not its absolute value"
@@ -145,15 +160,24 @@ def test_ablation_hardware_backends(benchmark, config):
     assert max(slowdowns) - min(slowdowns) < 0.08  # all backends viable
 
 
+def _bckron_bench():
+    return bench_spec("bc-kron").build()
+
+
 def test_headline_with_confidence_intervals(benchmark, config):
     """Seed-replicated headline claim: PACT's advantage over Colloid on
     bc-kron at 1:2 survives sampling noise (95% confidence)."""
     from repro.analysis.repeat import repeat_runs, significantly_better
 
     def run():
-        factory = lambda: bench_workload("bc-kron")
-        pact = repeat_runs(factory, "PACT", ratio="1:2", seeds=(0, 1, 2, 3), config=config)
-        colloid = repeat_runs(factory, "Colloid", ratio="1:2", seeds=(0, 1, 2, 3), config=config)
+        pact = repeat_runs(
+            _bckron_bench, "PACT", ratio="1:2", seeds=(0, 1, 2, 3),
+            config=config, jobs=BENCH_JOBS,
+        )
+        colloid = repeat_runs(
+            _bckron_bench, "Colloid", ratio="1:2", seeds=(0, 1, 2, 3),
+            config=config, jobs=BENCH_JOBS,
+        )
         return pact, colloid
 
     pact, colloid = once(benchmark, run)

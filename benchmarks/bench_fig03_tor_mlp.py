@@ -14,7 +14,6 @@ import numpy as np
 
 from repro.common.stats import pearson
 from repro.common.tables import format_series, format_table
-from repro.common.units import NS_PER_S
 from repro.hw.cha import littles_law_mlp
 from repro.mem.page import Tier
 from repro.sim.machine import Machine

@@ -10,51 +10,32 @@ Colloid/NBT and orders of magnitude fewer than TPP.
 
 from __future__ import annotations
 
-import pytest
+from repro.exp import ExperimentSpec, run_experiment
+from repro.exp import report
 
-from repro.analysis.sweep import run_sweep
-from repro.common.tables import format_count, format_table
-
-from conftest import MAIN_POLICIES, bench_workload, emit, once
-
-
-@pytest.fixture(scope="module")
-def bckron_sweep(benchmark_disable_gc=None):
-    return None  # placeholder; the sweep runs inside the benchmarked test
+from conftest import BENCH_JOBS, MAIN_POLICIES, bench_spec, emit, once
 
 
 def test_fig04_and_table2_bckron_4kb(benchmark, config, paper_ratios):
-    def run():
-        return run_sweep(
-            {"bc-kron": lambda: bench_workload("bc-kron")},
-            policies=list(MAIN_POLICIES),
-            ratios=list(paper_ratios),
-            config=config,
-        )
-
-    sweep = once(benchmark, run)
+    spec = ExperimentSpec(
+        workloads={"bc-kron": bench_spec("bc-kron")},
+        policies=list(MAIN_POLICIES),
+        ratios=list(paper_ratios),
+        config=config,
+    )
+    exp = once(benchmark, lambda: run_experiment(spec, jobs=BENCH_JOBS))
 
     # --- Figure 4: slowdown rows (policies x ratios). -----------------
-    slow_rows = []
-    for policy in MAIN_POLICIES:
-        row = [policy]
-        for ratio in paper_ratios:
-            row.append(f"{sweep.cell('bc-kron', policy, ratio).slowdown:.3f}")
-        slow_rows.append(row)
-    slow_rows.append(
-        ["CXL (all-slow)"] + [f"{sweep.slow_only['bc-kron']:.3f}"] * len(paper_ratios)
-    )
-    fig4 = format_table(["policy"] + list(paper_ratios), slow_rows)
+    fig4 = report.ratio_table(exp, "bc-kron", MAIN_POLICIES, paper_ratios)
 
     # --- Table 2: promotion counts. ------------------------------------
-    promo = sweep.promotions_table("bc-kron")
-    promo_rows = []
-    for policy in ("PACT", "Colloid", "NBT", "Alto", "Nomad", "TPP", "Memtis"):
-        promo_rows.append(
-            [policy] + [format_count(promo[policy][r]) for r in paper_ratios]
-        )
-    tab2 = format_table(["policy"] + list(paper_ratios), promo_rows)
+    tab2_policies = ("PACT", "Colloid", "NBT", "Alto", "Nomad", "TPP", "Memtis")
+    tab2 = report.promotion_table(exp, "bc-kron", tab2_policies, paper_ratios)
 
+    promo = {
+        p: {r: exp.promotions("bc-kron", p, r) for r in paper_ratios}
+        for p in ("PACT", "Colloid", "TPP")
+    }
     ratios_vs_colloid = [
         promo["Colloid"][r] / max(promo["PACT"][r], 1) for r in paper_ratios
     ]
@@ -68,7 +49,7 @@ def test_fig04_and_table2_bckron_4kb(benchmark, config, paper_ratios):
 
     # Shape assertions.
     for ratio in paper_ratios:
-        pact = sweep.cell("bc-kron", "PACT", ratio).slowdown
+        pact = exp.slowdown("bc-kron", "PACT", ratio)
         for rival in ("Colloid", "NBT", "TPP", "Nomad", "NoTier"):
-            assert pact < sweep.cell("bc-kron", rival, ratio).slowdown * 1.02, (ratio, rival)
+            assert pact < exp.slowdown("bc-kron", rival, ratio) * 1.02, (ratio, rival)
     assert promo["TPP"]["1:1"] > 20 * promo["PACT"]["1:1"]

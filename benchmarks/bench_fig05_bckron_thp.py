@@ -9,44 +9,27 @@ Colloid/NBT lose ground relative to their 4KB results.
 
 from __future__ import annotations
 
-from repro.analysis.sweep import run_sweep
-from repro.common.tables import format_count, format_table
+from repro.exp import ExperimentSpec, run_experiment
+from repro.exp import report as exp_report
 
-from conftest import bench_workload, emit, once
+from conftest import BENCH_JOBS, bench_spec, emit, once
 
 THP_POLICIES = ("PACT", "Memtis", "Colloid", "NBT", "Nomad", "NoTier")
 THP_RATIOS = ("8:1", "2:1", "1:1", "1:2", "1:8")
 
 
-def test_fig05_bckron_thp(benchmark, config, paper_ratios):
-    thp_config = config.with_(thp=True)
+def test_fig05_bckron_thp(benchmark, config):
+    spec = ExperimentSpec(
+        workloads={"bc-kron": bench_spec("bc-kron")},
+        policies=list(THP_POLICIES),
+        ratios=list(THP_RATIOS),
+        config=config.with_(thp=True),
+    )
+    exp = once(benchmark, lambda: run_experiment(spec, jobs=BENCH_JOBS))
 
-    def run():
-        return run_sweep(
-            {"bc-kron": lambda: bench_workload("bc-kron")},
-            policies=list(THP_POLICIES),
-            ratios=list(THP_RATIOS),
-            config=thp_config,
-        )
-
-    sweep = once(benchmark, run)
-
-    rows = []
-    for policy in THP_POLICIES:
-        row = [policy]
-        for ratio in THP_RATIOS:
-            row.append(f"{sweep.cell('bc-kron', policy, ratio).slowdown:.3f}")
-        rows.append(row)
-    rows.append(["CXL (all-slow)"] + [f"{sweep.slow_only['bc-kron']:.3f}"] * len(THP_RATIOS))
-    report = format_table(["policy"] + list(THP_RATIOS), rows)
-
-    promo = sweep.promotions_table("bc-kron")
-    report += "\n\npromotions (4KB-page equivalents):\n" + format_table(
-        ["policy"] + list(THP_RATIOS),
-        [
-            [p] + [format_count(promo[p][r]) for r in THP_RATIOS]
-            for p in ("PACT", "Memtis", "Colloid", "NBT")
-        ],
+    report = exp_report.ratio_table(exp, "bc-kron", THP_POLICIES, THP_RATIOS)
+    report += "\n\npromotions (4KB-page equivalents):\n" + exp_report.promotion_table(
+        exp, "bc-kron", ("PACT", "Memtis", "Colloid", "NBT"), THP_RATIOS
     )
     report += (
         "\n\npaper: PACT lowest across nearly all ratios; Memtis 2nd (THP-aware),"
@@ -55,6 +38,6 @@ def test_fig05_bckron_thp(benchmark, config, paper_ratios):
     emit("fig05_bckron_thp", report)
 
     for ratio in THP_RATIOS:
-        pact = sweep.cell("bc-kron", "PACT", ratio).slowdown
-        assert pact < sweep.cell("bc-kron", "NoTier", ratio).slowdown
-        assert pact <= sweep.cell("bc-kron", "Memtis", ratio).slowdown * 1.05, ratio
+        pact = exp.slowdown("bc-kron", "PACT", ratio)
+        assert pact < exp.slowdown("bc-kron", "NoTier", ratio)
+        assert pact <= exp.slowdown("bc-kron", "Memtis", ratio) * 1.05, ratio

@@ -8,32 +8,26 @@ trade wins with PACT per workload.
 
 from __future__ import annotations
 
-from repro.analysis.sweep import run_sweep
-from repro.common.tables import format_table
+from repro.exp import ExperimentSpec, run_experiment
+from repro.exp import report as exp_report
 from repro.workloads import EVAL_WORKLOADS
 
-from conftest import MAIN_POLICIES, bench_workload, emit, once
+from conftest import BENCH_JOBS, MAIN_POLICIES, bench_spec, emit, once
 
 
 def test_fig06_all_workloads(benchmark, config):
-    factories = {
-        name: (lambda n=name: bench_workload(n, wide=True)) for name in EVAL_WORKLOADS
-    }
+    spec = ExperimentSpec(
+        workloads={name: bench_spec(name, wide=True) for name in EVAL_WORKLOADS},
+        policies=list(MAIN_POLICIES),
+        ratios=["1:1"],
+        config=config,
+    )
+    exp = once(benchmark, lambda: run_experiment(spec, jobs=BENCH_JOBS))
 
-    def run():
-        return run_sweep(factories, policies=list(MAIN_POLICIES), ratios=["1:1"], config=config)
-
-    sweep = once(benchmark, run)
-
-    table = sweep.slowdown_table("1:1")
-    rows = []
-    for wname in EVAL_WORKLOADS:
-        row = [wname] + [f"{table[wname][p]:.3f}" for p in MAIN_POLICIES]
-        row.append(f"{sweep.slow_only[wname]:.3f}")
-        rows.append(row)
-    report = format_table(["workload"] + list(MAIN_POLICIES) + ["CXL"], rows)
+    report = exp_report.workload_table(exp, EVAL_WORKLOADS, MAIN_POLICIES, "1:1")
 
     # Scorecard: how often is PACT the best online system?
+    table = exp.slowdown_table("1:1")
     online = [p for p in MAIN_POLICIES if p not in ("Soar", "NoTier")]
     wins = 0
     worst_gap = 0.0

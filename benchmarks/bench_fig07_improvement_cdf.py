@@ -11,35 +11,30 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.improvement import pooled_improvements, summarize_improvements
-from repro.analysis.sweep import run_sweep
 from repro.common.tables import format_table
+from repro.exp import ExperimentSpec, run_experiment
 from repro.workloads import EVAL_WORKLOADS
 
-from conftest import bench_workload, emit, once
+from conftest import BENCH_JOBS, bench_spec, emit, once
 
 COMPETITORS = ("Colloid", "NBT", "Memtis")
 RATIOS = ("1:2", "2:1")
 
 
 def test_fig07_improvement_cdf(benchmark, config):
-    factories = {
-        name: (lambda n=name: bench_workload(n, wide=True)) for name in EVAL_WORKLOADS
-    }
-
-    def run():
-        return run_sweep(
-            factories,
-            policies=["PACT"] + list(COMPETITORS),
-            ratios=list(RATIOS),
-            config=config,
-        )
-
-    sweep = once(benchmark, run)
+    spec = ExperimentSpec(
+        workloads={name: bench_spec(name, wide=True) for name in EVAL_WORKLOADS},
+        policies=["PACT"] + list(COMPETITORS),
+        ratios=list(RATIOS),
+        config=config,
+        include_slow_only=False,
+    )
+    exp = once(benchmark, lambda: run_experiment(spec, jobs=BENCH_JOBS))
 
     sections = []
     for ratio in RATIOS:
         summaries = summarize_improvements(
-            sweep.slowdown_table(ratio), competitors=COMPETITORS
+            exp.slowdown_table(ratio), competitors=COMPETITORS
         )
         pooled = pooled_improvements(summaries)
         rows = [

@@ -13,27 +13,27 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines import make_policy
 from repro.common.tables import format_series, format_table
-from repro.sim.engine import ideal_baseline, run_policy
-from repro.sim.machine import Machine
+from repro.exp import RunRequest, run_requests
+from repro.exp.spec import PolicySpec
 
-from conftest import bench_workload, emit, once
+from conftest import BENCH_JOBS, bench_spec, emit, once
 
 
 def test_fig08_adaptivity(benchmark, config):
-    def run():
-        workload = bench_workload("sssp-kron")
-        policy = make_policy("PACT")
-        machine = Machine(workload, policy, config=config, ratio="1:2", seed=5, trace=True)
-        pact = machine.run()
-        baseline = ideal_baseline(bench_workload("sssp-kron"), config=config)
-        colloid = run_policy(
-            bench_workload("sssp-kron"), make_policy("Colloid"), ratio="1:2", config=config
-        )
-        return pact, colloid, baseline
+    sssp = bench_spec("sssp-kron")
+    pact_req = RunRequest(
+        workload=sssp, policy=PolicySpec("PACT"), ratio="1:2",
+        config=config, seed=5, trace=True,
+    )
+    colloid_req = RunRequest(
+        workload=sssp, policy=PolicySpec("Colloid"), ratio="1:2", config=config
+    )
+    ideal_req = RunRequest.ideal(sssp, config=config)
+    requests = [pact_req, colloid_req, ideal_req]
 
-    pact, colloid, baseline = once(benchmark, run)
+    exp = once(benchmark, lambda: run_requests(requests, jobs=BENCH_JOBS))
+    pact, colloid, baseline = (exp[r] for r in requests)
 
     promotions = np.array([rec.promoted for rec in pact.trace])
     widths = np.array([rec.policy_debug.get("bin_width", 0.0) for rec in pact.trace])

@@ -11,38 +11,33 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines import make_policy
 from repro.common.tables import format_table
-from repro.sim.engine import ideal_baseline
-from repro.sim.machine import Machine
+from repro.exp import RunRequest, run_requests
+from repro.exp.spec import PolicySpec
 
-from conftest import bench_workload, emit, once
+from conftest import BENCH_JOBS, bench_spec, emit, once
 
 WORKLOADS = ("bc-kron", "bc-urand", "sssp-kron", "silo")
 RATIO = "1:4"  # pressure high enough that selection quality matters
 
 
-def traced_run(wname, policy_name, config):
-    workload = bench_workload(wname)
-    machine = Machine(
-        workload, make_policy(policy_name), config=config, ratio=RATIO, seed=6, trace=True
-    )
-    return machine.run()
-
-
 def test_fig09_pac_vs_frequency_policy(benchmark, config):
-    def run():
-        out = {}
-        for wname in WORKLOADS:
-            baseline = ideal_baseline(bench_workload(wname), config=config)
-            out[wname] = (
-                traced_run(wname, "PACT", config),
-                traced_run(wname, "Frequency", config),
-                baseline,
-            )
-        return out
-
-    results = once(benchmark, run)
+    specs = {wname: bench_spec(wname) for wname in WORKLOADS}
+    grid = {
+        wname: (
+            RunRequest(workload=spec, policy=PolicySpec("PACT"),
+                       ratio=RATIO, config=config, seed=6, trace=True),
+            RunRequest(workload=spec, policy=PolicySpec("Frequency"),
+                       ratio=RATIO, config=config, seed=6, trace=True),
+            RunRequest.ideal(spec, config=config),
+        )
+        for wname, spec in specs.items()
+    }
+    flat = [req for trio in grid.values() for req in trio]
+    exp = once(benchmark, lambda: run_requests(flat, jobs=BENCH_JOBS))
+    results = {
+        wname: tuple(exp[req] for req in trio) for wname, trio in grid.items()
+    }
 
     rows = []
     gains = {}

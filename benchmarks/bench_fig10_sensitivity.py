@@ -10,12 +10,12 @@
 
 from __future__ import annotations
 
-from repro.baselines import make_policy
 from repro.common.tables import format_table
 from repro.core.cooling import CoolingConfig
-from repro.sim.engine import ideal_baseline, run_policy
+from repro.exp import RunRequest, run_requests
+from repro.exp.spec import PolicySpec
 
-from conftest import bench_workload, emit, once
+from conftest import BENCH_JOBS, bench_spec, emit, once
 
 RATIO = "1:2"
 PEBS_RATES = (200, 400, 800, 2000, 4000)
@@ -30,39 +30,67 @@ COOLING_WORKLOADS = ("bc-kron", "gups", "silo")
 
 
 def test_fig10_sensitivity(benchmark, config):
-    def run():
-        out = {"pebs": [], "period": [], "cooling": []}
-        baseline = ideal_baseline(bench_workload("bc-kron"), config=config)
-        for rate in PEBS_RATES:
-            cfg = config.with_(pebs_rate=rate)
-            base = ideal_baseline(bench_workload("bc-kron"), config=cfg)
-            res = run_policy(
-                bench_workload("bc-kron"), make_policy("PACT"), ratio=RATIO, config=cfg
-            )
-            out["pebs"].append((rate, res.slowdown(base), res.promoted))
-        for period in PERIODS:
-            res = run_policy(
-                bench_workload("bc-kron"),
-                make_policy("PACT", period_windows=period),
-                ratio=RATIO,
-                config=config,
-            )
-            out["period"].append((period, res.slowdown(baseline), res.promoted))
-        for wname in COOLING_WORKLOADS:
-            base = ideal_baseline(bench_workload(wname), config=config)
-            row = [wname]
-            for label, cooling in COOLING.items():
-                res = run_policy(
-                    bench_workload(wname),
-                    make_policy("PACT", cooling=cooling),
-                    ratio=RATIO,
-                    config=config,
-                )
-                row.append(f"{res.slowdown(base):.3f}")
-            out["cooling"].append(row)
-        return out
+    bckron = bench_spec("bc-kron")
+    pact = PolicySpec("PACT")
 
-    out = once(benchmark, run)
+    # (a) PEBS rate axis: the baseline moves with the config too.
+    pebs_reqs = {
+        rate: (
+            RunRequest(workload=bckron, policy=pact, ratio=RATIO,
+                       config=config.with_(pebs_rate=rate)),
+            RunRequest.ideal(bckron, config=config.with_(pebs_rate=rate)),
+        )
+        for rate in PEBS_RATES
+    }
+    # (b) PAC sampling-period axis (policy kwargs, shared baseline).
+    period_reqs = {
+        period: RunRequest(
+            workload=bckron,
+            policy=PolicySpec("PACT", {"period_windows": period}),
+            ratio=RATIO, config=config,
+        )
+        for period in PERIODS
+    }
+    base_req = RunRequest.ideal(bckron, config=config)
+    # (c) cooling mechanisms across three workloads.
+    cool_specs = {wname: bench_spec(wname) for wname in COOLING_WORKLOADS}
+    cool_reqs = {
+        (wname, label): RunRequest(
+            workload=cool_specs[wname],
+            policy=PolicySpec("PACT", {"cooling": cooling}),
+            ratio=RATIO, config=config,
+        )
+        for wname in COOLING_WORKLOADS
+        for label, cooling in COOLING.items()
+    }
+    cool_base = {
+        wname: RunRequest.ideal(cool_specs[wname], config=config)
+        for wname in COOLING_WORKLOADS
+    }
+
+    flat = (
+        [r for pair in pebs_reqs.values() for r in pair]
+        + list(period_reqs.values())
+        + [base_req]
+        + list(cool_reqs.values())
+        + list(cool_base.values())
+    )
+    exp = once(benchmark, lambda: run_requests(flat, jobs=BENCH_JOBS))
+
+    out = {"pebs": [], "period": [], "cooling": []}
+    for rate, (req, base) in pebs_reqs.items():
+        res = exp[req]
+        out["pebs"].append((rate, res.slowdown(exp[base]), res.promoted))
+    baseline = exp[base_req]
+    for period, req in period_reqs.items():
+        res = exp[req]
+        out["period"].append((period, res.slowdown(baseline), res.promoted))
+    for wname in COOLING_WORKLOADS:
+        base = exp[cool_base[wname]]
+        row = [wname]
+        for label in COOLING:
+            row.append(f"{exp[cool_reqs[(wname, label)]].slowdown(base):.3f}")
+        out["cooling"].append(row)
 
     pebs_tbl = format_table(
         ["PEBS rate (1-in-N)", "slowdown", "promotions"],

@@ -10,45 +10,61 @@ pages (3.5-4.7x fewer than Colloid; 2.2x fewer than Memtis).
 
 from __future__ import annotations
 
-from repro.baselines import make_policy
 from repro.common.tables import format_table
-from repro.sim.engine import ideal_baseline, run_policy
+from repro.exp import ExperimentSpec, run_experiment
 from repro.workloads import MlcContender
 
-from conftest import bench_workload, emit, once
+from conftest import BENCH_JOBS, bench_spec, emit, once
 
 THREAD_COUNTS = (1, 2, 4, 8)
 RATIO = "1:1"
 
 
-def contended_cell(policy_name, threads, config, **policy_kwargs):
-    contender = MlcContender(threads=threads)
-    base = ideal_baseline(bench_workload("bc-kron"), config=config, contender=contender)
-    res = run_policy(
-        bench_workload("bc-kron"),
-        make_policy(policy_name, **policy_kwargs),
-        ratio=RATIO,
-        config=config,
-        contender=contender,
-    )
-    return res.slowdown(base), res.promoted
-
-
 def test_fig11_bw_contention(benchmark, config):
-    thp_config = config.with_(thp=True)
+    contenders = {t: MlcContender(threads=t) for t in THREAD_COUNTS}
+    # Two experiments (PACT appears in both, under different page sizes);
+    # keeping them separate keeps lookups unambiguous, and the shared
+    # store dedupes nothing between them anyway (configs differ).
+    spec_4k = ExperimentSpec(
+        workloads={"bc-kron": bench_spec("bc-kron")},
+        policies=["PACT", "Colloid"],
+        ratios=[RATIO],
+        config=config,
+        contenders=tuple(contenders.values()),
+        include_slow_only=False,
+    )
+    spec_thp = ExperimentSpec(
+        workloads={"bc-kron": bench_spec("bc-kron")},
+        policies=["PACT", "Memtis"],
+        ratios=[RATIO],
+        config=config.with_(thp=True),
+        contenders=tuple(contenders.values()),
+        include_slow_only=False,
+    )
 
     def run():
-        rows_4k, rows_thp = [], []
-        for threads in THREAD_COUNTS:
-            pact = contended_cell("PACT", threads, config)
-            colloid = contended_cell("Colloid", threads, config)
-            rows_4k.append((threads, pact, colloid))
-            pact_thp = contended_cell("PACT", threads, thp_config)
-            memtis = contended_cell("Memtis", threads, thp_config)
-            rows_thp.append((threads, pact_thp, memtis))
-        return rows_4k, rows_thp
+        return (
+            run_experiment(spec_4k, jobs=BENCH_JOBS),
+            run_experiment(spec_thp, jobs=BENCH_JOBS),
+        )
 
-    rows_4k, rows_thp = once(benchmark, run)
+    exp_4k, exp_thp = once(benchmark, run)
+
+    def cell(exp, policy, contender):
+        base = exp.baseline("bc-kron", contender=contender)
+        res = exp.find(
+            workload="bc-kron", policy=policy, ratio=RATIO, contender=contender
+        )
+        return res.slowdown(base), res.promoted
+
+    rows_4k = [
+        (t, cell(exp_4k, "PACT", c), cell(exp_4k, "Colloid", c))
+        for t, c in contenders.items()
+    ]
+    rows_thp = [
+        (t, cell(exp_thp, "PACT", c), cell(exp_thp, "Memtis", c))
+        for t, c in contenders.items()
+    ]
 
     tbl_4k = format_table(
         ["MLC threads", "PACT slowdn", "PACT promos", "Colloid slowdn", "Colloid promos"],

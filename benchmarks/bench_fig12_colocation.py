@@ -12,13 +12,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines import make_policy
 from repro.common.tables import format_table
-from repro.mem.page import Tier
-from repro.sim.machine import Machine
+from repro.exp import RunRequest, run_requests
+from repro.exp.spec import PolicySpec, WorkloadSpec
 from repro.workloads import ColocatedWorkload, Masim
 
-from conftest import BENCH_WORK, emit, once
+from conftest import BENCH_JOBS, BENCH_WORK, emit, once
 
 MEMBER_PAGES = 6_144  # each process: "6GB working set", scaled
 
@@ -36,7 +35,7 @@ def build_colocation():
     )
 
 
-def member_runtimes(result, workload):
+def member_runtimes(result):
     """Per-member wall-clock runtime: elapsed time at the member's finish.
 
     All members share the machine's wall clock (bandwidth contention and
@@ -46,29 +45,29 @@ def member_runtimes(result, workload):
     """
     durations = np.cumsum([rec.duration_cycles for rec in result.trace])
     out = []
-    for finish in workload.member_finish_window:
+    for finish in result.workload_metrics["member_finish_window"]:
         idx = len(durations) - 1 if finish < 0 else min(finish, len(durations) - 1)
         out.append(float(durations[idx]))
     return out
 
 
-def run_system(policy_name, config):
-    workload = build_colocation()
-    machine = Machine(
-        workload, make_policy(policy_name), config=config, ratio="1:1", seed=8, trace=True
-    )
-    result = machine.run()
-    runtimes = member_runtimes(result, workload)
-    fast = machine.memory.pages_in_tier(Tier.FAST)
-    random_resident = int((fast >= MEMBER_PAGES).sum())
-    return result, runtimes, random_resident
-
-
 def test_fig12_colocation(benchmark, config):
-    def run():
-        return run_system("PACT", config), run_system("Colloid", config)
+    coloc = WorkloadSpec.from_factory(build_colocation, label="masim-coloc")
+    requests = {
+        name: RunRequest(
+            workload=coloc, policy=PolicySpec(name), ratio="1:1",
+            config=config, seed=8, trace=True,
+        )
+        for name in ("PACT", "Colloid")
+    }
+    exp = once(benchmark, lambda: run_requests(list(requests.values()), jobs=BENCH_JOBS))
+    pact, colloid = exp[requests["PACT"]], exp[requests["Colloid"]]
 
-    (pact, pact_rt, pact_random_fast), (colloid, colloid_rt, _) = once(benchmark, run)
+    pact_rt = member_runtimes(pact)
+    colloid_rt = member_runtimes(colloid)
+    # The random member's pages sit above the sequential member's in the
+    # shared address space; count them in the final fast-tier snapshot.
+    pact_random_fast = int((np.asarray(pact.fast_pages) >= MEMBER_PAGES).sum())
 
     member_names = ("sequential", "random")
     rows = []

@@ -12,27 +12,34 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.baselines import make_policy
 from repro.common.tables import format_table
 from repro.common.units import NS_PER_S
-from repro.sim.machine import Machine
+from repro.exp import RunRequest, run_requests
+from repro.exp.spec import PolicySpec, WorkloadSpec
 from repro.workloads import RedisYcsbC
 
-from conftest import BENCH_WORK, emit, once
+from conftest import BENCH_JOBS, BENCH_WORK, emit, once
 
 VARIANTS = {
-    "Colloid": lambda: make_policy("Colloid"),
-    "PACT+Static": lambda: make_policy("PACT", adaptive_binning=False, scaling=False),
-    "PACT+Adaptive": lambda: make_policy("PACT", adaptive_binning=True, scaling=False),
-    "PACT+Both": lambda: make_policy("PACT"),
+    "Colloid": PolicySpec("Colloid"),
+    "PACT+Static": PolicySpec(
+        "PACT", {"adaptive_binning": False, "scaling": False}, label="PACT+Static"
+    ),
+    "PACT+Adaptive": PolicySpec(
+        "PACT", {"adaptive_binning": True, "scaling": False}, label="PACT+Adaptive"
+    ),
+    "PACT+Both": PolicySpec("PACT", label="PACT+Both"),
 }
 
 
-def serve_metrics(config, policy_factory):
-    workload = RedisYcsbC(total_misses=BENCH_WORK)
-    machine = Machine(workload, policy_factory(), config=config, ratio="1:1",
-                      seed=13, trace=True)
-    result = machine.run()
+def build_redis():
+    return RedisYcsbC(total_misses=BENCH_WORK)
+
+
+def serve_metrics(result, config):
+    # ops_for_misses is a pure function of the workload parameters, so a
+    # locally built instance converts the (possibly cached) trace.
+    workload = build_redis()
     window_ops = np.array(
         [workload.ops_for_misses(r.slow_misses + r.fast_misses) for r in result.trace]
     )
@@ -51,10 +58,16 @@ def serve_metrics(config, policy_factory):
 
 
 def test_fig13_redis_breakdown(benchmark, config):
-    def run():
-        return {name: serve_metrics(config, factory) for name, factory in VARIANTS.items()}
-
-    metrics = once(benchmark, run)
+    redis = WorkloadSpec.from_factory(build_redis, label="redis-ycsbc")
+    requests = {
+        name: RunRequest(
+            workload=redis, policy=pspec, ratio="1:1",
+            config=config, seed=13, trace=True,
+        )
+        for name, pspec in VARIANTS.items()
+    }
+    exp = once(benchmark, lambda: run_requests(list(requests.values()), jobs=BENCH_JOBS))
+    metrics = {name: serve_metrics(exp[req], config) for name, req in requests.items()}
 
     rows = [
         [

@@ -4,9 +4,15 @@ Every bench regenerates one table or figure of the paper's evaluation
 (§5) and prints the corresponding rows/series.  Output also lands in
 ``benchmarks/out/<bench>.txt`` so results survive quiet pytest runs.
 
-Work budgets are scaled down from the paper's multi-minute executions
-(set ``REPRO_BENCH_WORK`` to a miss count to override; default 12M
-misses ~= 48 sampling windows per run).
+Benches declare their grids through :mod:`repro.exp`; results are
+content-addressed and persisted under ``benchmarks/.cache`` so running
+any two figure benches back-to-back (even in separate processes) reuses
+every shared ideal/slow-only baseline.  Knobs:
+
+* ``REPRO_BENCH_WORK`` -- misses per run (fidelity vs. runtime),
+* ``REPRO_JOBS`` -- worker processes for cache misses (default serial),
+* ``REPRO_NO_CACHE=1`` -- disable the disk cache,
+* ``REPRO_CACHE_DIR`` -- cache somewhere other than benchmarks/.cache.
 """
 
 from __future__ import annotations
@@ -16,8 +22,9 @@ from pathlib import Path
 
 import pytest
 
+from repro.exp.cache import ResultStore, reset_default_store, set_default_store
+from repro.exp.spec import WorkloadSpec
 from repro.sim.config import MachineConfig, PAPER_RATIOS
-from repro.sim.engine import clear_baseline_cache
 from repro.workloads import make_workload
 
 #: Misses per run; ~250k per window -> ~48 windows at the default.
@@ -28,14 +35,26 @@ BENCH_WORK_WIDE = int(os.environ.get("REPRO_BENCH_WORK_WIDE", 8_000_000))
 
 OUT_DIR = Path(__file__).parent / "out"
 
+#: Persistent result cache shared by every bench process.
+CACHE_DIR = os.environ.get("REPRO_CACHE_DIR") or str(Path(__file__).parent / ".cache")
+
+#: Worker processes for cache-miss execution (0 = all cores).
+BENCH_JOBS = int(os.environ.get("REPRO_JOBS", "1") or "1")
+
 #: The comparison set used by the main figures.
 MAIN_POLICIES = ("PACT", "Colloid", "Alto", "NBT", "TPP", "Memtis", "Nomad", "Soar", "NoTier")
 
 
 def bench_workload(name: str, wide: bool = False, **kwargs):
-    """An evaluation workload scaled to the bench budget."""
+    """An evaluation workload instance scaled to the bench budget."""
     kwargs.setdefault("total_misses", BENCH_WORK_WIDE if wide else BENCH_WORK)
     return make_workload(name, **kwargs)
+
+
+def bench_spec(name: str, wide: bool = False, **kwargs) -> WorkloadSpec:
+    """A declarative workload spec scaled to the bench budget."""
+    kwargs.setdefault("total_misses", BENCH_WORK_WIDE if wide else BENCH_WORK)
+    return WorkloadSpec.registry(name, **kwargs)
 
 
 def emit(bench_name: str, text: str) -> None:
@@ -57,8 +76,12 @@ def config():
 
 
 @pytest.fixture(scope="session", autouse=True)
-def _fresh_baselines():
-    clear_baseline_cache()
+def bench_store():
+    """Install the persistent bench store for the whole session."""
+    directory = None if os.environ.get("REPRO_NO_CACHE") else CACHE_DIR
+    store = set_default_store(ResultStore(directory))
+    yield store
+    reset_default_store()
 
 
 @pytest.fixture(scope="session")

@@ -14,9 +14,9 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-from repro.baselines import make_policy
+from repro.exp.runner import run_experiment
+from repro.exp.spec import ExperimentSpec, PolicySpec, normalise_workloads
 from repro.sim.config import MachineConfig
-from repro.sim.engine import ideal_baseline, run_policy
 from repro.workloads.base import Workload
 
 #: Two-sided 95% normal quantile (seeds are cheap; t-corrections are
@@ -72,28 +72,35 @@ def repeat_runs(
     seeds: Sequence[int] = (0, 1, 2, 3, 4),
     config: Optional[MachineConfig] = None,
     policy_kwargs: Optional[dict] = None,
+    jobs: Optional[int] = None,
+    use_cache: bool = True,
 ) -> RepeatedResult:
     """Run one experiment across seeds and collect statistics.
 
     Each seed reseeds both the machine's stochastic components and the
     baseline used for normalisation, so the slowdown samples are i.i.d.
-    draws of the whole pipeline.
+    draws of the whole pipeline.  Seeds are just another grid axis of
+    the experiment layer, so replications cache individually and can run
+    in parallel.
     """
-    config = config if config is not None else MachineConfig()
     policy_kwargs = policy_kwargs or {}
+    (wspec,) = normalise_workloads([workload_factory])
+    spec = ExperimentSpec(
+        workloads=[wspec],
+        policies=[PolicySpec(policy_name, dict(policy_kwargs))],
+        ratios=(ratio,),
+        seeds=tuple(seeds),
+        config=config,
+        include_slow_only=False,
+    )
+    exp = run_experiment(spec, jobs=jobs, use_cache=use_cache)
     slowdowns, promotions = [], []
     workload_name = ratio_name = None
     for seed in seeds:
-        workload = workload_factory()
-        baseline = ideal_baseline(workload, config=config, seed=seed)
-        result = run_policy(
-            workload,
-            make_policy(policy_name, **policy_kwargs),
-            ratio=ratio,
-            config=config,
-            seed=seed,
+        result = exp.find(
+            workload=wspec.display, policy=policy_name, ratio=ratio, seed=seed
         )
-        slowdowns.append(result.slowdown(baseline))
+        slowdowns.append(result.slowdown(exp.baseline(wspec.display, seed=seed)))
         promotions.append(result.promoted)
         workload_name = result.workload
         ratio_name = result.ratio

@@ -1,19 +1,20 @@
-"""Experiment sweep driver shared by the benchmark harness.
+"""Grid-sweep compatibility layer over :mod:`repro.exp`.
 
-Runs (workload x policy x ratio) grids against cached ideal baselines
-and returns slowdown/migration tables the benches print in the shape of
-the paper's figures.
+``run_sweep`` keeps the historical (workload x policy x ratio) call
+shape the benches and CLI grew up with, but is now a thin declaration:
+it builds an :class:`ExperimentSpec`, hands it to the experiment runner
+(content-addressed caching, optional multiprocess fan-out), and folds
+the indexed results back into the flat :class:`SweepResult` tables.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from repro.baselines import make_policy
+from repro.exp.runner import run_experiment
+from repro.exp.spec import ExperimentSpec, PolicySpec, WorkloadSpec
 from repro.sim.config import MachineConfig
-from repro.sim.engine import ideal_baseline, run_policy, slow_only_run
-from repro.sim.metrics import RunResult
 from repro.workloads.base import Workload
 
 WorkloadFactory = Callable[[], Workload]
@@ -64,28 +65,38 @@ class SweepResult:
 
 
 def run_sweep(
-    workload_factories: Dict[str, WorkloadFactory],
+    workload_factories: Dict[str, Union[WorkloadFactory, WorkloadSpec, str]],
     policies: Sequence[str],
     ratios: Sequence[str],
     config: Optional[MachineConfig] = None,
     seed: int = 0,
     policy_kwargs: Optional[Dict[str, dict]] = None,
+    jobs: Optional[int] = None,
+    use_cache: bool = True,
 ) -> SweepResult:
     """Run the full grid; policies are instantiated fresh per run."""
-    config = config if config is not None else MachineConfig()
+    from repro.exp.spec import normalise_workloads
+
     policy_kwargs = policy_kwargs or {}
+    spec = ExperimentSpec(
+        # Normalised up front so every expansion shares one spec object
+        # per workload (and thus one cached fingerprint).
+        workloads=normalise_workloads(workload_factories),
+        policies=[PolicySpec(p, dict(policy_kwargs.get(p, {}))) for p in policies],
+        ratios=list(ratios),
+        seeds=(seed,),
+        config=config,
+    )
+    exp = run_experiment(spec, jobs=jobs, use_cache=use_cache)
+
     result = SweepResult()
-    for wname, factory in workload_factories.items():
-        workload = factory()
-        baseline = ideal_baseline(workload, config=config, seed=seed)
-        slow = slow_only_run(workload, config=config, seed=seed)
-        result.slow_only[wname] = slow.slowdown(baseline)
+    for wspec in spec.workload_specs():
+        wname = wspec.display
+        baseline = exp.baseline(wname, seed=seed)
+        result.slow_only[wname] = exp.slow_only(wname, seed=seed).slowdown(baseline)
         for ratio in ratios:
             for pname in policies:
-                policy = make_policy(pname, **policy_kwargs.get(pname, {}))
-                run = run_policy(
-                    workload, policy, ratio=ratio, config=config, seed=seed
-                )
+                run = exp.find(workload=wname, policy=pname, ratio=ratio, seed=seed)
                 result.cells.append(
                     SweepCell(
                         workload=wname,

@@ -5,29 +5,41 @@ Examples::
     python -m repro run --workload bc-kron --policy PACT --ratio 1:2
     python -m repro sweep --workload gpt-2 --policies PACT Colloid NoTier
     python -m repro compare --ratio 1:1 --workloads bc-kron gups silo
+    python -m repro bench --workloads bc-kron gups --ratios 1:1 1:2 --jobs 4
     python -m repro calibrate
     python -m repro list
 
 All subcommands print plain-text tables; ``--work`` scales the per-run
-miss budget (larger = higher fidelity, slower).
+miss budget (larger = higher fidelity, slower).  Experiment subcommands
+take ``--jobs N`` (fan cache misses out over N worker processes),
+``--cache-dir PATH`` (persist results in a content-addressed JSON cache;
+``bench`` defaults to ``benchmarks/.cache``), and ``--no-cache``.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.analysis.sweep import run_sweep
 from repro.baselines import ALL_POLICIES, make_policy
 from repro.common.tables import format_count, format_table
 from repro.core.calibration import calibrate_k
+from repro.exp import report as exp_report
+from repro.exp.cache import ResultStore, reset_default_store, set_default_store
+from repro.exp.runner import run_experiment
+from repro.exp.spec import ExperimentSpec, WorkloadSpec
 from repro.mem.page import Tier
 from repro.sim.config import MachineConfig, PAPER_RATIOS
-from repro.sim.engine import ideal_baseline, run_policy, slow_only_run
+from repro.sim.engine import ideal_baseline, run_policy
 from repro.workloads import ALL_WORKLOADS, generate_corpus, make_workload
 
 DEFAULT_WORK = 12_000_000
+
+#: Where ``bench`` persists results unless told otherwise.
+DEFAULT_BENCH_CACHE = "benchmarks/.cache"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,6 +70,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _common_args(cmp_p)
 
+    bench_p = sub.add_parser(
+        "bench",
+        help="cached, parallel (workload x policy x ratio x seed) grid",
+    )
+    bench_p.add_argument("--workloads", nargs="+", default=["bc-kron"], choices=ALL_WORKLOADS)
+    bench_p.add_argument(
+        "--policies", nargs="+", default=["PACT", "Colloid", "Memtis", "NBT", "NoTier"]
+    )
+    bench_p.add_argument("--ratios", nargs="+", default=list(PAPER_RATIOS))
+    bench_p.add_argument("--seeds", nargs="+", type=int, default=[0])
+    _common_args(bench_p, cache_dir_default=DEFAULT_BENCH_CACHE)
+
     cal_p = sub.add_parser("calibrate", help="fit Equation 1's k on the corpus")
     cal_p.add_argument("--windows", type=int, default=10, help="windows per corpus point")
     cal_p.add_argument("--seed", type=int, default=0)
@@ -66,24 +90,56 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _common_args(p: argparse.ArgumentParser) -> None:
+def _common_args(p: argparse.ArgumentParser, cache_dir_default: Optional[str] = None) -> None:
     p.add_argument("--work", type=int, default=DEFAULT_WORK, help="total misses per run")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--thp", action="store_true", help="2MB transparent huge pages")
     p.add_argument("--pebs-rate", type=int, default=400, help="PEBS 1-in-N sampling rate")
+    p.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for cache misses (default: REPRO_JOBS or 1; 0 = all cores)",
+    )
+    p.add_argument(
+        "--cache-dir", default=cache_dir_default,
+        help="directory for the persistent result cache (default: %(default)s)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every run, and do not read or write cached results",
+    )
 
 
 def _config(args) -> MachineConfig:
     return MachineConfig(thp=getattr(args, "thp", False), pebs_rate=getattr(args, "pebs_rate", 400))
 
 
+@contextlib.contextmanager
+def _experiment_store(args):
+    """Install the command's result store as the process default.
+
+    Routing through the default store lets engine-level baseline calls
+    and runner-level grid runs share one cache; the previous store is
+    restored afterwards so library callers are unaffected.
+    """
+    directory = None
+    if not getattr(args, "no_cache", False):
+        directory = getattr(args, "cache_dir", None)
+    store = ResultStore(directory)
+    set_default_store(store)
+    try:
+        yield store
+    finally:
+        reset_default_store()
+
+
 def cmd_run(args, out) -> int:
     config = _config(args)
-    workload = make_workload(args.workload, total_misses=args.work)
-    baseline = ideal_baseline(workload, config=config, seed=args.seed)
-    result = run_policy(
-        workload, make_policy(args.policy), ratio=args.ratio, config=config, seed=args.seed
-    )
+    with _experiment_store(args):
+        workload = make_workload(args.workload, total_misses=args.work)
+        baseline = ideal_baseline(workload, config=config, seed=args.seed)
+        result = run_policy(
+            workload, make_policy(args.policy), ratio=args.ratio, config=config, seed=args.seed
+        )
     rows = [
         ["slowdown vs DRAM-only", f"{result.slowdown(baseline):.1%}"],
         ["runtime", f"{result.runtime_ms:.0f} ms"],
@@ -100,13 +156,16 @@ def cmd_run(args, out) -> int:
 
 def cmd_sweep(args, out) -> int:
     config = _config(args)
-    sweep = run_sweep(
-        {args.workload: lambda: make_workload(args.workload, total_misses=args.work)},
-        policies=args.policies,
-        ratios=list(PAPER_RATIOS),
-        config=config,
-        seed=args.seed,
-    )
+    with _experiment_store(args):
+        sweep = run_sweep(
+            {args.workload: WorkloadSpec.registry(args.workload, total_misses=args.work)},
+            policies=args.policies,
+            ratios=list(PAPER_RATIOS),
+            config=config,
+            seed=args.seed,
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+        )
     rows = []
     for policy in args.policies:
         rows.append(
@@ -121,16 +180,19 @@ def cmd_sweep(args, out) -> int:
 
 def cmd_compare(args, out) -> int:
     config = _config(args)
-    sweep = run_sweep(
-        {
-            name: (lambda n=name: make_workload(n, total_misses=args.work))
-            for name in args.workloads
-        },
-        policies=args.policies,
-        ratios=[args.ratio],
-        config=config,
-        seed=args.seed,
-    )
+    with _experiment_store(args):
+        sweep = run_sweep(
+            {
+                name: WorkloadSpec.registry(name, total_misses=args.work)
+                for name in args.workloads
+            },
+            policies=args.policies,
+            ratios=[args.ratio],
+            config=config,
+            seed=args.seed,
+            jobs=args.jobs,
+            use_cache=not args.no_cache,
+        )
     table = sweep.slowdown_table(args.ratio)
     rows = [
         [wname] + [f"{table[wname][p]:.3f}" for p in args.policies]
@@ -138,6 +200,35 @@ def cmd_compare(args, out) -> int:
     ]
     print(f"slowdown vs DRAM-only at {args.ratio}:", file=out)
     print(format_table(["workload"] + list(args.policies), rows), file=out)
+    return 0
+
+
+def cmd_bench(args, out) -> int:
+    """Declared grid through the experiment layer: cached + parallel."""
+    config = _config(args)
+    spec = ExperimentSpec(
+        workloads={
+            name: WorkloadSpec.registry(name, total_misses=args.work)
+            for name in args.workloads
+        },
+        policies=list(args.policies),
+        ratios=list(args.ratios),
+        seeds=tuple(args.seeds),
+        config=config,
+    )
+    with _experiment_store(args) as store:
+        exp = run_experiment(spec, jobs=args.jobs, use_cache=not args.no_cache)
+        for seed in args.seeds:
+            for ratio in args.ratios:
+                print(f"slowdown vs DRAM-only at {ratio} (seed {seed}):", file=out)
+                print(
+                    exp_report.workload_table(
+                        exp, args.workloads, args.policies, ratio, seed=seed
+                    ),
+                    file=out,
+                )
+                print("", file=out)
+        print(store.summary(), file=out)
     return 0
 
 
@@ -170,6 +261,7 @@ _COMMANDS = {
     "run": cmd_run,
     "sweep": cmd_sweep,
     "compare": cmd_compare,
+    "bench": cmd_bench,
     "calibrate": cmd_calibrate,
     "list": cmd_list,
 }

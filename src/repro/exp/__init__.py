@@ -1,0 +1,56 @@
+"""Unified experiment orchestration: specs, caching, parallel sweeps.
+
+The layer every consumer of the simulator goes through:
+
+* :mod:`repro.exp.spec` -- declarative grids (``ExperimentSpec``) and
+  single runs (``RunRequest``) with content fingerprints,
+* :mod:`repro.exp.cache` -- on-disk content-addressed result store,
+  shared with the engine's ideal/slow-only baseline helpers,
+* :mod:`repro.exp.parallel` -- process-pool fan-out for cache misses,
+* :mod:`repro.exp.runner` -- dedup + cache + execute + indexed results,
+* :mod:`repro.exp.report` -- the paper's recurring table shapes.
+"""
+
+from repro.exp.cache import (
+    CACHE_VERSION,
+    ResultStore,
+    content_hash,
+    get_default_store,
+    reset_default_store,
+    set_default_store,
+    workload_fingerprint,
+)
+from repro.exp.parallel import resolve_jobs
+from repro.exp.runner import (
+    ExperimentResult,
+    execute_request,
+    run_experiment,
+    run_requests,
+)
+from repro.exp.spec import (
+    DEFAULT_MAX_WINDOWS,
+    ExperimentSpec,
+    PolicySpec,
+    RunRequest,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "CACHE_VERSION",
+    "DEFAULT_MAX_WINDOWS",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "PolicySpec",
+    "ResultStore",
+    "RunRequest",
+    "WorkloadSpec",
+    "content_hash",
+    "execute_request",
+    "get_default_store",
+    "reset_default_store",
+    "resolve_jobs",
+    "run_experiment",
+    "run_requests",
+    "set_default_store",
+    "workload_fingerprint",
+]

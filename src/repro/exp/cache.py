@@ -1,0 +1,303 @@
+"""Content-addressed result cache for the experiment layer.
+
+Every run is identified by a *fingerprint*: a canonical JSON document
+covering everything that determines its outcome -- workload parameters,
+the full :class:`MachineConfig`, policy identity and kwargs, seed,
+contender bandwidth parameters, the window budget, and whether tracing
+was on.  The SHA-256 of that document is the run's content address.
+
+:class:`ResultStore` layers an in-process dict over an optional on-disk
+JSON directory (one file per hash, written atomically), so baselines
+computed by one bench process are reused by the next.  The store is
+shared with :mod:`repro.sim.engine`'s baseline helpers, which makes the
+old module-global ``_baseline_cache`` a strict subset of this layer.
+
+Bump :data:`CACHE_VERSION` whenever the simulator's behaviour changes in
+a result-visible way; stale entries are then ignored (and benches can
+always be forced fresh with ``REPRO_NO_CACHE=1`` or by deleting the
+cache directory).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.mem.page import Tier
+from repro.sim.metrics import RunResult, WindowRecord
+
+#: Schema/behaviour version of cached entries.
+CACHE_VERSION = 1
+
+#: Environment variable selecting a disk directory for the default store.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Environment variable disabling the disk layer entirely.
+NO_CACHE_ENV = "REPRO_NO_CACHE"
+
+
+# -- canonical fingerprints ---------------------------------------------------
+
+
+def canonical(obj: Any) -> Any:
+    """A deterministic, JSON-serialisable view of ``obj``.
+
+    Dataclasses are tagged with their class name so two configs of
+    different types never alias; enums collapse to ``Class.NAME``.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return f"{type(obj).__name__}.{obj.name}"
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        doc = {"__class__": type(obj).__qualname__}
+        for f in dataclasses.fields(obj):
+            doc[f.name] = canonical(getattr(obj, f.name))
+        return doc
+    if isinstance(obj, dict):
+        return {str(k): canonical(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [canonical(v) for v in obj]
+    item = getattr(obj, "item", None)  # numpy scalars
+    if callable(item):
+        return canonical(item())
+    raise TypeError(
+        f"cannot fingerprint {type(obj).__name__!r}; experiment specs must be "
+        "built from plain data (numbers, strings, dataclasses, enums)"
+    )
+
+
+def workload_fingerprint(workload) -> Dict[str, Any]:
+    """Identity of a workload *instance* for cache keying.
+
+    Captures the base parameters every :class:`Workload` carries plus,
+    recursively, the members of colocated workloads (whose access mix
+    differs even at identical aggregate parameters).
+    """
+    fp: Dict[str, Any] = {
+        "class": type(workload).__qualname__,
+        "name": workload.name,
+        "seed": workload.seed,
+        "footprint_pages": workload.footprint_pages,
+        "total_misses": workload.total_misses,
+        "misses_per_window": workload.misses_per_window,
+        "compute_cycles_per_miss": workload.compute_cycles_per_miss,
+    }
+    members = getattr(workload, "members", None)
+    if members:
+        fp["members"] = [workload_fingerprint(m) for m in members]
+    return fp
+
+
+def run_fingerprint(
+    kind: str,
+    workload_fp: Dict[str, Any],
+    policy_fp: Optional[Dict[str, Any]],
+    ratio: Optional[str],
+    seed: int,
+    config,
+    contender,
+    max_windows: int,
+    trace: bool,
+) -> Dict[str, Any]:
+    """The complete cache key document for one run.
+
+    Unlike the old engine-local key this includes ``max_windows`` and
+    the contender's full parameter set (tier and per-thread bandwidth,
+    not just its thread count), so differently-configured runs can never
+    alias.
+    """
+    return {
+        "version": CACHE_VERSION,
+        "kind": kind,
+        "workload": workload_fp,
+        "policy": policy_fp,
+        "ratio": ratio,
+        "seed": seed,
+        "config": canonical(config),
+        "contender": canonical(contender),
+        "max_windows": max_windows,
+        "trace": bool(trace),
+    }
+
+
+def content_hash(fingerprint: Dict[str, Any]) -> str:
+    """SHA-256 content address of a fingerprint document."""
+    blob = json.dumps(fingerprint, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# -- RunResult <-> JSON -------------------------------------------------------
+
+
+def _record_to_dict(rec: WindowRecord) -> Dict[str, Any]:
+    return dataclasses.asdict(rec)
+
+
+def result_to_dict(result: RunResult) -> Dict[str, Any]:
+    return {
+        "workload": result.workload,
+        "policy": result.policy,
+        "ratio": result.ratio,
+        "runtime_cycles": result.runtime_cycles,
+        "windows": result.windows,
+        "promoted": result.promoted,
+        "demoted": result.demoted,
+        "migration_cost_cycles": result.migration_cost_cycles,
+        "total_stall_cycles": result.total_stall_cycles,
+        "total_misses": result.total_misses,
+        "tier_misses": {tier.name: float(v) for tier, v in result.tier_misses.items()},
+        "trace": (
+            None if result.trace is None else [_record_to_dict(r) for r in result.trace]
+        ),
+        "workload_metrics": result.workload_metrics,
+        "fast_pages": result.fast_pages,
+    }
+
+
+def result_from_dict(doc: Dict[str, Any]) -> RunResult:
+    trace = doc.get("trace")
+    return RunResult(
+        workload=doc["workload"],
+        policy=doc["policy"],
+        ratio=doc["ratio"],
+        runtime_cycles=doc["runtime_cycles"],
+        windows=doc["windows"],
+        promoted=doc["promoted"],
+        demoted=doc["demoted"],
+        migration_cost_cycles=doc["migration_cost_cycles"],
+        total_stall_cycles=doc["total_stall_cycles"],
+        total_misses=doc["total_misses"],
+        tier_misses={Tier[name]: v for name, v in doc["tier_misses"].items()},
+        trace=None if trace is None else [WindowRecord(**rec) for rec in trace],
+        workload_metrics=doc.get("workload_metrics") or {},
+        fast_pages=doc.get("fast_pages"),
+    )
+
+
+# -- the store ----------------------------------------------------------------
+
+
+class ResultStore:
+    """Two-tier (memory + optional disk) content-addressed result cache."""
+
+    def __init__(self, directory: Optional[os.PathLike] = None):
+        self.directory = Path(directory) if directory else None
+        self._memory: Dict[str, RunResult] = {}
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[RunResult]:
+        cached = self._memory.get(key)
+        if cached is not None:
+            self.memory_hits += 1
+            return cached
+        if self.directory is not None:
+            path = self._path(key)
+            if path.is_file():
+                try:
+                    doc = json.loads(path.read_text())
+                except (OSError, json.JSONDecodeError):
+                    doc = None
+                if doc is not None and doc.get("version") == CACHE_VERSION:
+                    result = result_from_dict(doc["result"])
+                    self._memory[key] = result
+                    self.disk_hits += 1
+                    return result
+        self.misses += 1
+        return None
+
+    def put(self, key: str, result: RunResult, fingerprint: Optional[dict] = None) -> None:
+        self._memory[key] = result
+        self.puts += 1
+        if self.directory is None:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "version": CACHE_VERSION,
+            "fingerprint": fingerprint,
+            "result": result_to_dict(result),
+        }
+        # Atomic publish: concurrent writers of the same key race benignly.
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(doc, fh)
+            os.replace(tmp, self._path(key))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def clear_memory(self) -> None:
+        """Drop the in-process layer (disk entries survive)."""
+        self._memory.clear()
+
+    def clear(self) -> None:
+        """Drop both layers, deleting on-disk entries."""
+        self.clear_memory()
+        if self.directory is not None and self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "puts": self.puts,
+        }
+
+    def summary(self) -> str:
+        where = str(self.directory) if self.directory else "memory-only"
+        s = self.stats()
+        return (
+            f"cache [{where}]: {s['memory_hits']} memory hits, "
+            f"{s['disk_hits']} disk hits, {s['misses']} misses, {s['puts']} stored"
+        )
+
+
+# -- default-store plumbing ---------------------------------------------------
+
+_default_store: Optional[ResultStore] = None
+
+
+def get_default_store() -> ResultStore:
+    """The process-wide store used by engine baselines and the runner."""
+    global _default_store
+    if _default_store is None:
+        directory = None
+        if not os.environ.get(NO_CACHE_ENV):
+            directory = os.environ.get(CACHE_DIR_ENV) or None
+        _default_store = ResultStore(directory)
+    return _default_store
+
+
+def set_default_store(store: ResultStore) -> ResultStore:
+    global _default_store
+    _default_store = store
+    return store
+
+
+def reset_default_store() -> None:
+    """Forget the configured store; the next use re-reads the environment."""
+    global _default_store
+    _default_store = None

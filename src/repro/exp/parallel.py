@@ -1,0 +1,64 @@
+"""Multiprocess fan-out for cache-miss requests.
+
+Runs are embarrassingly parallel: each request carries its own seed and
+full configuration, so results are bit-identical whether executed
+serially or across a :class:`ProcessPoolExecutor` (a property the test
+suite asserts).  The fork start method is preferred so factory-form
+workload specs defined in bench modules unpickle in workers; request
+lists that cannot pickle at all (lambda factories) quietly fall back to
+in-process execution.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence
+
+from repro.sim.metrics import RunResult
+
+#: Environment variable supplying the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Effective worker count: explicit arg, else ``REPRO_JOBS``, else 1."""
+    if jobs is None:
+        try:
+            jobs = int(os.environ.get(JOBS_ENV, "1"))
+        except ValueError:
+            jobs = 1
+    if jobs <= 0:  # 0 = "all cores", mirroring make -j conventions
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+def _run_one(request) -> RunResult:
+    # Imported lazily: runner imports this module.
+    from repro.exp.runner import execute_request
+
+    return execute_request(request)
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def execute_many(requests: Sequence, jobs: Optional[int] = None) -> List[RunResult]:
+    """Execute requests, preserving order; parallel when ``jobs`` > 1."""
+    jobs = resolve_jobs(jobs)
+    requests = list(requests)
+    if jobs <= 1 or len(requests) <= 1:
+        return [_run_one(r) for r in requests]
+    try:
+        pickle.dumps(requests)
+    except Exception:
+        # Lambda/closure factories cannot cross process boundaries.
+        return [_run_one(r) for r in requests]
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(requests)), mp_context=_mp_context()
+    ) as pool:
+        return list(pool.map(_run_one, requests))

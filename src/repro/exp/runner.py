@@ -1,0 +1,214 @@
+"""Experiment runner: dedup, cache lookup, fan-out, result indexing.
+
+``run_experiment``/``run_requests`` are the single entry point every
+bench, the CLI, and ``analysis.sweep`` drive: expand a spec, drop
+duplicate requests (shared baselines collapse here), serve what the
+content-addressed store already has, execute the misses -- serially or
+across worker processes -- and hand back an :class:`ExperimentResult`
+that knows how to look runs up by (workload, policy, ratio, seed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.exp import parallel
+from repro.exp.cache import ResultStore, get_default_store
+from repro.exp.spec import (
+    KIND_IDEAL,
+    KIND_POLICY,
+    KIND_SLOW_ONLY,
+    ExperimentSpec,
+    RunRequest,
+)
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.sim.metrics import RunResult
+from repro.sim.policy_api import NoTierPolicy, SlowOnlyPolicy
+
+
+def execute_request(request: RunRequest) -> RunResult:
+    """Run one request from scratch (no cache involvement)."""
+    workload = request.workload.build()
+    config = request.config if request.config is not None else MachineConfig()
+    if request.kind == KIND_IDEAL:
+        machine = Machine(
+            workload=workload,
+            policy=NoTierPolicy(),
+            config=config,
+            ratio="1:1",
+            fast_capacity_override=workload.footprint_pages,
+            contender=request.contender,
+            seed=request.seed,
+            trace=request.trace,
+        )
+    elif request.kind == KIND_SLOW_ONLY:
+        machine = Machine(
+            workload=workload,
+            policy=SlowOnlyPolicy(),
+            config=config,
+            ratio="1:1",
+            fast_capacity_override=0,
+            contender=request.contender,
+            seed=request.seed,
+            trace=request.trace,
+        )
+    else:
+        machine = Machine(
+            workload=workload,
+            policy=request.policy.build(),
+            config=config,
+            ratio=request.ratio,
+            contender=request.contender,
+            seed=request.seed,
+            trace=request.trace,
+        )
+    return machine.run(max_windows=request.max_windows)
+
+
+class ExperimentResult:
+    """Executed requests plus lookup helpers keyed on display identities."""
+
+    def __init__(self, requests: Sequence[RunRequest], results: Dict[str, RunResult]):
+        self.requests = list(requests)
+        self._results = results
+
+    def result(self, request: RunRequest) -> RunResult:
+        return self._results[request.key]
+
+    __getitem__ = result
+
+    def find(
+        self,
+        workload: Optional[str] = None,
+        policy: Optional[str] = None,
+        ratio: Optional[str] = None,
+        seed: Optional[int] = None,
+        contender="any",
+        kind: str = KIND_POLICY,
+    ) -> RunResult:
+        """The unique run matching the given display coordinates."""
+        matches = []
+        for req in self.requests:
+            if req.kind != kind:
+                continue
+            if workload is not None and req.workload.display != workload:
+                continue
+            if policy is not None and (
+                req.kind != KIND_POLICY or req.policy.display != policy
+            ):
+                continue
+            if ratio is not None and kind == KIND_POLICY and req.ratio != ratio:
+                continue
+            if seed is not None and req.seed != seed:
+                continue
+            if contender != "any" and req.contender != contender:
+                continue
+            if req.key not in matches:
+                matches.append(req.key)
+        if not matches:
+            raise KeyError(
+                f"no run matches workload={workload!r} policy={policy!r} "
+                f"ratio={ratio!r} seed={seed!r} kind={kind!r}"
+            )
+        if len(matches) > 1:
+            raise KeyError(
+                f"ambiguous lookup (workload={workload!r} policy={policy!r} "
+                f"ratio={ratio!r} seed={seed!r} kind={kind!r}): "
+                f"{len(matches)} distinct runs -- pass more coordinates"
+            )
+        return self._results[matches[0]]
+
+    def baseline(self, workload: str, seed: int = 0, contender=None) -> RunResult:
+        return self.find(workload=workload, seed=seed, contender=contender, kind=KIND_IDEAL)
+
+    def slow_only(self, workload: str, seed: int = 0, contender=None) -> RunResult:
+        return self.find(
+            workload=workload, seed=seed, contender=contender, kind=KIND_SLOW_ONLY
+        )
+
+    def slowdown(
+        self,
+        workload: str,
+        policy: str,
+        ratio: str,
+        seed: int = 0,
+        contender=None,
+    ) -> float:
+        run = self.find(
+            workload=workload, policy=policy, ratio=ratio, seed=seed, contender=contender
+        )
+        return run.slowdown(self.baseline(workload, seed=seed, contender=contender))
+
+    def promotions(
+        self,
+        workload: str,
+        policy: str,
+        ratio: str,
+        seed: int = 0,
+        contender=None,
+    ) -> int:
+        return self.find(
+            workload=workload, policy=policy, ratio=ratio, seed=seed, contender=contender
+        ).promoted
+
+    def slowdown_table(
+        self, ratio: str, seed: int = 0, contender=None
+    ) -> Dict[str, Dict[str, float]]:
+        """workload -> {policy -> slowdown} at one ratio."""
+        table: Dict[str, Dict[str, float]] = {}
+        for req in self.requests:
+            if req.kind != KIND_POLICY or req.ratio != ratio or req.seed != seed:
+                continue
+            if req.contender != contender:
+                continue
+            wname = req.workload.display
+            base = self.baseline(wname, seed=seed, contender=contender)
+            table.setdefault(wname, {})[req.policy.display] = self._results[
+                req.key
+            ].slowdown(base)
+        return table
+
+
+def run_requests(
+    requests: Sequence[RunRequest],
+    jobs: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    use_cache: bool = True,
+) -> ExperimentResult:
+    """Execute a request list through the cache + process pool."""
+    requests = list(requests)
+    store = store if store is not None else get_default_store()
+
+    unique: List[RunRequest] = []
+    seen: Dict[str, RunRequest] = {}
+    for req in requests:
+        if req.key not in seen:
+            seen[req.key] = req
+            unique.append(req)
+
+    results: Dict[str, RunResult] = {}
+    misses: List[RunRequest] = []
+    for req in unique:
+        cached = store.get(req.key) if use_cache else None
+        if cached is not None:
+            results[req.key] = cached
+        else:
+            misses.append(req)
+
+    for req, result in zip(misses, parallel.execute_many(misses, jobs=jobs)):
+        results[req.key] = result
+        if use_cache:
+            store.put(req.key, result, fingerprint=req.fingerprint())
+
+    return ExperimentResult(requests, results)
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    jobs: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    use_cache: bool = True,
+) -> ExperimentResult:
+    """Expand a declared grid and execute it."""
+    return run_requests(spec.expand(), jobs=jobs, store=store, use_cache=use_cache)

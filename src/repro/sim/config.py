@@ -25,6 +25,8 @@ def parse_ratio(ratio: str) -> float:
         fast, slow = float(fast_s), float(slow_s)
     except ValueError:
         raise ValueError(f"ratio must look like '1:4', got {ratio!r}") from None
+    if not (math.isfinite(fast) and math.isfinite(slow)):
+        raise ValueError(f"ratio parts must be finite, got {ratio!r}")
     if fast <= 0 or slow <= 0:
         raise ValueError("ratio parts must be positive")
     return fast / (fast + slow)

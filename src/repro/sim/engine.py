@@ -1,14 +1,21 @@
-"""High-level experiment runner with ideal-baseline caching.
+"""High-level run helpers with shared ideal-baseline caching.
 
 Every figure in the paper reports slowdown relative to an ideal
-DRAM-only execution of the same workload (§5.1).  The runner caches
-those baselines per (workload, seed, config, contention) so sweeps over
-policies and ratios pay for each baseline once.
+DRAM-only execution of the same workload (§5.1).  Those baselines are
+cached in the experiment layer's content-addressed store
+(:mod:`repro.exp.cache`): in-process by default, and persisted to disk
+when a cache directory is configured -- so sweeps, benches, and separate
+bench *processes* all pay for each baseline exactly once.
+
+The cache key covers the workload's parameters, the full
+:class:`MachineConfig`, the seed, the window budget, and the contender's
+complete parameter set (threads, pinned tier, per-thread bandwidth) --
+two differently-configured runs can never alias.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Optional
 
 from repro.sim.config import MachineConfig
 from repro.sim.machine import Machine
@@ -17,9 +24,8 @@ from repro.sim.policy_api import NoTierPolicy, SlowOnlyPolicy, TieringPolicy
 from repro.workloads.base import Workload
 from repro.workloads.mlc import MlcContender
 
-WorkloadFactory = Callable[[], Workload]
-
-_baseline_cache: Dict[Tuple, RunResult] = {}
+#: Default window budget (mirrors :meth:`Machine.run`).
+DEFAULT_MAX_WINDOWS = 200_000
 
 
 def run_policy(
@@ -30,7 +36,7 @@ def run_policy(
     seed: int = 0,
     contender: Optional[MlcContender] = None,
     trace: bool = False,
-    max_windows: int = 200_000,
+    max_windows: int = DEFAULT_MAX_WINDOWS,
 ) -> RunResult:
     """Run one workload under one policy at one fast:slow ratio."""
     machine = Machine(
@@ -45,31 +51,71 @@ def run_policy(
     return machine.run(max_windows=max_windows)
 
 
+def _cached_reference_run(
+    kind: str,
+    workload: Workload,
+    config: Optional[MachineConfig],
+    seed: int,
+    contender: Optional[MlcContender],
+    use_cache: bool,
+    max_windows: int,
+) -> RunResult:
+    # Imported lazily so the sim layer never depends on repro.exp at
+    # module-load time (repro.exp builds on the sim layer).
+    from repro.exp.cache import (
+        content_hash,
+        get_default_store,
+        run_fingerprint,
+        workload_fingerprint,
+    )
+
+    config = config if config is not None else MachineConfig()
+    fingerprint = run_fingerprint(
+        kind=kind,
+        workload_fp=workload_fingerprint(workload),
+        policy_fp=None,
+        ratio=None,
+        seed=seed,
+        config=config,
+        contender=contender,
+        max_windows=max_windows,
+        trace=False,
+    )
+    key = content_hash(fingerprint)
+    store = get_default_store()
+    if use_cache:
+        cached = store.get(key)
+        if cached is not None:
+            return cached
+    override = workload.footprint_pages if kind == "ideal" else 0
+    policy = NoTierPolicy() if kind == "ideal" else SlowOnlyPolicy()
+    machine = Machine(
+        workload=workload,
+        policy=policy,
+        config=config,
+        ratio="1:1",
+        fast_capacity_override=override,
+        contender=contender,
+        seed=seed,
+    )
+    result = machine.run(max_windows=max_windows)
+    if use_cache:
+        store.put(key, result, fingerprint=fingerprint)
+    return result
+
+
 def ideal_baseline(
     workload: Workload,
     config: Optional[MachineConfig] = None,
     seed: int = 0,
     contender: Optional[MlcContender] = None,
     use_cache: bool = True,
+    max_windows: int = DEFAULT_MAX_WINDOWS,
 ) -> RunResult:
     """All-in-DRAM run of the workload (the slowdown denominator)."""
-    config = config if config is not None else MachineConfig()
-    key = _cache_key("ideal", workload, config, seed, contender)
-    if use_cache and key in _baseline_cache:
-        return _baseline_cache[key]
-    machine = Machine(
-        workload=workload,
-        policy=NoTierPolicy(),
-        config=config,
-        ratio="1:1",
-        fast_capacity_override=workload.footprint_pages,
-        contender=contender,
-        seed=seed,
+    return _cached_reference_run(
+        "ideal", workload, config, seed, contender, use_cache, max_windows
     )
-    result = machine.run()
-    if use_cache:
-        _baseline_cache[key] = result
-    return result
 
 
 def slow_only_run(
@@ -78,47 +124,20 @@ def slow_only_run(
     seed: int = 0,
     contender: Optional[MlcContender] = None,
     use_cache: bool = True,
+    max_windows: int = DEFAULT_MAX_WINDOWS,
 ) -> RunResult:
     """All-in-slow-tier run (the gray 'CXL' line in the figures)."""
-    config = config if config is not None else MachineConfig()
-    key = _cache_key("slow", workload, config, seed, contender)
-    if use_cache and key in _baseline_cache:
-        return _baseline_cache[key]
-    machine = Machine(
-        workload=workload,
-        policy=SlowOnlyPolicy(),
-        config=config,
-        ratio="1:1",
-        fast_capacity_override=0,
-        contender=contender,
-        seed=seed,
+    return _cached_reference_run(
+        "slow_only", workload, config, seed, contender, use_cache, max_windows
     )
-    result = machine.run()
-    if use_cache:
-        _baseline_cache[key] = result
-    return result
 
 
 def clear_baseline_cache() -> None:
-    _baseline_cache.clear()
+    """Drop the in-process layer of the shared result store.
 
+    Disk entries (when a cache directory is configured) survive; delete
+    the directory or run with ``REPRO_NO_CACHE=1`` for a cold start.
+    """
+    from repro.exp.cache import get_default_store
 
-def _cache_key(
-    kind: str,
-    workload: Workload,
-    config: MachineConfig,
-    seed: int,
-    contender: Optional[MlcContender],
-) -> Tuple:
-    contention = (contender.threads, int(contender.tier)) if contender else (0, -1)
-    return (
-        kind,
-        workload.name,
-        workload.seed,
-        workload.footprint_pages,
-        workload.total_misses,
-        workload.misses_per_window,
-        config,
-        seed,
-        contention,
-    )
+    get_default_store().clear_memory()

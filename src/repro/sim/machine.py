@@ -292,4 +292,10 @@ class Machine:
             total_misses=sum(perf.llc_misses.values()),
             tier_misses=dict(perf.llc_misses),
             trace=self._trace if self.trace_enabled else None,
+            workload_metrics=self.workload.final_metrics(),
+            fast_pages=(
+                np.flatnonzero(self.memory.placement == int(Tier.FAST)).tolist()
+                if self.trace_enabled
+                else None
+            ),
         )

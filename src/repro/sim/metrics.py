@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.common.units import cycles_to_ms
 from repro.mem.page import Tier
@@ -47,6 +47,14 @@ class RunResult:
     total_misses: float
     tier_misses: Dict[Tier, float]
     trace: Optional[List[WindowRecord]] = None
+    #: Workload-reported end-of-run metrics (``Workload.final_metrics``),
+    #: e.g. per-member finish windows for colocated workloads.  Must stay
+    #: JSON-serialisable so results survive the on-disk experiment cache.
+    workload_metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Page ids resident in the fast tier when the run ended (recorded
+    #: only for traced runs; lets benches inspect final placement even
+    #: when the run executed in a worker process or came from cache).
+    fast_pages: Optional[List[int]] = None
 
     @property
     def runtime_ms(self) -> float:

@@ -12,7 +12,6 @@ import json
 from pathlib import Path
 from typing import Union
 
-from repro.mem.page import Tier
 from repro.sim.metrics import RunResult
 
 PathLike = Union[str, Path]

@@ -76,6 +76,14 @@ class Workload(abc.ABC):
     def _on_reset(self) -> None:
         """Subclass hook for phase-state reinitialisation."""
 
+    def final_metrics(self) -> dict:
+        """End-of-run metrics attached to :class:`RunResult`.
+
+        Values must be JSON-serialisable: they travel through the
+        experiment layer's on-disk cache and across worker processes.
+        """
+        return {}
+
     @property
     def window_index(self) -> int:
         return self._window

@@ -57,6 +57,9 @@ class ColocatedWorkload(Workload):
             member.reset()
         self.member_finish_window = [-1] * len(self.members)
 
+    def final_metrics(self) -> dict:
+        return {"member_finish_window": list(self.member_finish_window)}
+
     def next_window(self) -> WindowTraffic:
         groups: List[AccessGroup] = []
         compute = 0.0

@@ -1,15 +1,13 @@
 """Calibration of Equation 1's k, model-fit analysis, improvement CDFs."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.correlation import aggregate_per_workload, evaluate_stall_model
 from repro.analysis.improvement import pooled_improvements, summarize_improvements
 from repro.analysis.sweep import run_sweep
-from repro.common.units import CXL_SPEC, DRAM_SPEC
+from repro.common.units import CXL_SPEC
 from repro.core.calibration import CalibrationPoint, calibrate_k, collect_points
 from repro.mem.page import Tier
-from repro.sim.config import MachineConfig
 from repro.sim.engine import clear_baseline_cache
 from repro.workloads.corpus import generate_corpus
 

@@ -5,7 +5,6 @@ import pytest
 
 from repro.analysis.repeat import RepeatedResult, repeat_runs, significantly_better
 from repro.common.charts import bar_chart, series_with_sparkline, sparkline
-from repro.sim.config import MachineConfig
 from repro.sim.engine import clear_baseline_cache, ideal_baseline, run_policy
 from repro.sim.machine import Machine
 from repro.sim.policy_api import NoTierPolicy

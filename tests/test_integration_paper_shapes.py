@@ -5,7 +5,6 @@ minute, but exercise the full pipeline: workload -> hardware -> counters
 -> policy -> migration -> runtime.
 """
 
-import numpy as np
 import pytest
 
 from repro.baselines import make_policy

@@ -10,7 +10,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.mem.page import Tier, UNALLOCATED
+from repro.mem.page import UNALLOCATED
 from repro.sim.config import MachineConfig
 from repro.sim.machine import Machine
 from repro.sim.policy_api import Decision, Observation, TieringPolicy

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.sim.config import MachineConfig
 from repro.sim.engine import (
     clear_baseline_cache,
     ideal_baseline,

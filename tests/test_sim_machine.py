@@ -30,6 +30,13 @@ class TestRatioParsing:
         with pytest.raises(ValueError):
             parse_ratio("0:1")
 
+    def test_rejects_non_finite(self):
+        # Regression: float("nan") > 0 is False but "nan:1" previously
+        # slipped past the positivity check via NaN comparison rules.
+        for bad in ("nan:1", "1:nan", "inf:1", "1:inf", "-inf:2"):
+            with pytest.raises(ValueError):
+                parse_ratio(bad)
+
 
 class TestMachineConfig:
     def test_fast_capacity(self):

@@ -17,7 +17,7 @@ from repro.workloads import (
     spread_counts,
     zipf_weights,
 )
-from repro.workloads.graph import GRAPHS, GraphWorkload
+from repro.workloads.graph import GraphWorkload
 
 
 class TestHelpers:
