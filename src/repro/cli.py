@@ -32,6 +32,8 @@ from repro.exp.cache import ResultStore, reset_default_store, set_default_store
 from repro.exp.runner import run_experiment
 from repro.exp.spec import ExperimentSpec, WorkloadSpec
 from repro.mem.page import Tier
+from repro.obs import DEFAULT_TRACE_CAPACITY, Observability
+from repro.sim import traceio
 from repro.sim.config import MachineConfig, PAPER_RATIOS
 from repro.sim.engine import ideal_baseline, run_policy
 from repro.workloads import ALL_WORKLOADS, generate_corpus, make_workload
@@ -81,6 +83,36 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--ratios", nargs="+", default=list(PAPER_RATIOS))
     bench_p.add_argument("--seeds", nargs="+", type=int, default=[0])
     _common_args(bench_p, cache_dir_default=DEFAULT_BENCH_CACHE)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="one observed run; emit per-window telemetry as JSONL/CSV",
+    )
+    trace_p.add_argument("workload", choices=ALL_WORKLOADS)
+    trace_p.add_argument(
+        "policy", choices=sorted(set(ALL_POLICIES) | {"Frequency", "CXL"})
+    )
+    trace_p.add_argument("--ratio", default="1:1", help="fast:slow capacity, e.g. 1:4")
+    trace_p.add_argument(
+        "--format", choices=("jsonl", "csv"), default="jsonl", dest="trace_format"
+    )
+    trace_p.add_argument(
+        "--output", "-o", default=None,
+        help="trace file path (default: JSONL on stdout; required for csv)",
+    )
+    trace_p.add_argument(
+        "--downsample", type=int, default=1, help="keep one window in every N"
+    )
+    trace_p.add_argument(
+        "--trace-capacity", type=int, default=DEFAULT_TRACE_CAPACITY,
+        help="ring-buffer bound on retained windows (oldest dropped first)",
+    )
+    trace_p.add_argument("--max-windows", type=int, default=200_000)
+    trace_p.add_argument(
+        "--timings", action="store_true",
+        help="also print host wall-clock span totals (not part of the trace)",
+    )
+    _common_args(trace_p)
 
     cal_p = sub.add_parser("calibrate", help="fit Equation 1's k on the corpus")
     cal_p.add_argument("--windows", type=int, default=10, help="windows per corpus point")
@@ -232,6 +264,53 @@ def cmd_bench(args, out) -> int:
     return 0
 
 
+def cmd_trace(args, out) -> int:
+    """Run one workload/policy with observability on and export the trace.
+
+    Always a live run (the cache is bypassed): telemetry is the point,
+    and the run itself is seconds-scale.  Results are unaffected by the
+    observability layer, so traced numbers match cached bench numbers.
+    """
+    if args.trace_format == "csv" and not args.output:
+        print("--format csv requires --output PATH", file=out)
+        return 2
+    config = _config(args)
+    workload = make_workload(args.workload, total_misses=args.work)
+    obs = Observability(
+        trace_capacity=args.trace_capacity, downsample=args.downsample
+    )
+    result = run_policy(
+        workload,
+        make_policy(args.policy),
+        ratio=args.ratio,
+        config=config,
+        seed=args.seed,
+        obs=obs,
+        max_windows=args.max_windows,
+    )
+    if args.trace_format == "csv":
+        traceio.write_trace_csv(result, args.output)
+        rows = len(result.trace)
+    elif args.output:
+        rows = traceio.write_trace_jsonl(result, args.output)
+    else:
+        rows = traceio.write_trace_jsonl(result, out)
+    if args.output:
+        print(f"{args.workload} under {args.policy} at {args.ratio}:", file=out)
+        print(f"wrote {rows} windows to {args.output}", file=out)
+        summary_rows = [
+            [name, f"{value:.6g}"] for name, value in result.metrics_summary.items()
+        ]
+        print(format_table(["metric", "value"], summary_rows), file=out)
+    if args.timings:
+        timing_rows = [
+            [label, f"{t['seconds'] * 1e3:.2f} ms", f"{int(t['calls'])}"]
+            for label, t in obs.timings().items()
+        ]
+        print(format_table(["span", "wall time", "calls"], timing_rows), file=out)
+    return 0
+
+
 def cmd_calibrate(args, out) -> int:
     corpus = generate_corpus(total_misses=2_000_000, misses_per_window=200_000)
     coeff = calibrate_k(corpus, max_windows_each=args.windows, seed=args.seed)
@@ -262,6 +341,7 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "compare": cmd_compare,
     "bench": cmd_bench,
+    "trace": cmd_trace,
     "calibrate": cmd_calibrate,
     "list": cmd_list,
 }

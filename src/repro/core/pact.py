@@ -21,6 +21,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.common.units import PAGES_PER_HUGE_PAGE
 from repro.core.binning import AdaptiveBinner
 from repro.core.cooling import CoolingConfig
 from repro.core.pac import PacModelCoefficients
@@ -125,6 +126,13 @@ class PactPolicy(TieringPolicy):
         self._cold_fraction = machine.config.cold_activity_fraction
         self._eviction_bar = 0.0
         self._bar_margin = 1.25
+        #: EWMA gain shared by the bar's victim-value updates and its
+        #: decay on demotion-free planning windows.
+        self._bar_gain = 0.2
+        self._demoted_since_plan = False
+        # Publish adaptivity gauges when the machine carries observability.
+        obs = getattr(machine, "obs", None)
+        self._obs = obs if obs is not None and obs.enabled else None
 
     # -- per-window policy -------------------------------------------------------------
 
@@ -132,8 +140,29 @@ class PactPolicy(TieringPolicy):
         period_complete = self.sampler.ingest(obs)
         if not period_complete:
             return Decision.none()
+        self._decay_eviction_bar()
         candidates = self._select_candidates(obs)
-        return self.planner.plan(candidates, obs)
+        decision = self.planner.plan(candidates, obs)
+        if self._obs is not None:
+            self._obs.gauge("pact/eviction_bar", self._eviction_bar)
+            self._obs.gauge("pact/top_bin_occupancy", float(self._last_top_occupancy))
+            self._obs.gauge("pact/candidates", float(self._last_candidate_count))
+        return decision
+
+    def _decay_eviction_bar(self) -> None:
+        """Relax the swap-profitability bar on demotion-free windows.
+
+        The bar is EWMA-updated only when demotions occur, so a single
+        demotion burst used to pin it high through arbitrarily long
+        quiet phases, suppressing promotions indefinitely.  Planning
+        windows that saw no demotions now pull it toward zero with the
+        same gain, modelling the victim-value estimate going stale.
+        """
+        if not self._demoted_since_plan and self._eviction_bar > 0.0:
+            self._eviction_bar += self._bar_gain * (0.0 - self._eviction_bar)
+            if self._eviction_bar < 1e-12:
+                self._eviction_bar = 0.0
+        self._demoted_since_plan = False
 
     def _select_candidates(self, obs: Observation) -> np.ndarray:
         """Adaptive promotion: pages in the highest-priority bin that are
@@ -199,11 +228,15 @@ class PactPolicy(TieringPolicy):
         ranked = elig_pages[order]
         if self._thp:
             # Migration moves whole 2MB regions: keep one representative
-            # (the highest-PAC page) per huge page and budget in units.
+            # (the highest-PAC page) per huge page and budget in whole
+            # units.  The budget stays clamped to the per-window cap in
+            # 4KB pages: when the cap cannot fit even one huge page
+            # (tiny fast tiers), promote nothing rather than overshoot
+            # the migration bound by flooring the budget up to 2MB.
             huge = ranked >> 9
             _, first = np.unique(huge, return_index=True)
             ranked = ranked[np.sort(first)]
-            want = max(want // 512, 1)
+            want //= PAGES_PER_HUGE_PAGE
         candidates = ranked[:want]
         self._last_candidate_count = int(candidates.size)
         return candidates
@@ -229,9 +262,10 @@ class PactPolicy(TieringPolicy):
         if outcome.promoted_pages.size:
             self._promoted_at[outcome.promoted_pages] = self._current_window
         if outcome.demoted_pages.size and self.tracker is not None:
+            self._demoted_since_plan = True
             victim_values = self.tracker.values_for(outcome.demoted_pages, metric=self.metric)
             bar_sample = float(np.quantile(victim_values, 0.9))
-            self._eviction_bar += 0.2 * (bar_sample - self._eviction_bar)
+            self._eviction_bar += self._bar_gain * (bar_sample - self._eviction_bar)
 
     # -- introspection -------------------------------------------------------------------
 
@@ -239,6 +273,7 @@ class PactPolicy(TieringPolicy):
         info: Dict[str, float] = {
             "candidates": float(self._last_candidate_count),
             "tracked": float(len(self.tracker)) if self.tracker else 0.0,
+            "eviction_bar": float(getattr(self, "_eviction_bar", 0.0)),
         }
         if self.binner is not None:
             info.update(self.binner.debug_info())

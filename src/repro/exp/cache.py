@@ -32,8 +32,10 @@ from typing import Any, Dict, Optional
 from repro.mem.page import Tier
 from repro.sim.metrics import RunResult, WindowRecord
 
-#: Schema/behaviour version of cached entries.
-CACHE_VERSION = 1
+#: Schema/behaviour version of cached entries.  v2: simulator loop
+#: fixes (empty windows count toward the budget, eviction-bar decay,
+#: THP promotion-budget clamp) make results differ from v1 entries.
+CACHE_VERSION = 2
 
 #: Environment variable selecting a disk directory for the default store.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -107,6 +109,7 @@ def run_fingerprint(
     contender,
     max_windows: int,
     trace: bool,
+    obs: bool = False,
 ) -> Dict[str, Any]:
     """The complete cache key document for one run.
 
@@ -114,8 +117,13 @@ def run_fingerprint(
     the contender's full parameter set (tier and per-thread bandwidth,
     not just its thread count), so differently-configured runs can never
     alias.
+
+    ``obs`` marks runs that carry an observability bundle (their results
+    include telemetry).  It is added to the document *only when set*:
+    observability-off runs keep exactly the fingerprint they had before
+    the observability layer existed.
     """
-    return {
+    doc = {
         "version": CACHE_VERSION,
         "kind": kind,
         "workload": workload_fp,
@@ -127,6 +135,9 @@ def run_fingerprint(
         "max_windows": max_windows,
         "trace": bool(trace),
     }
+    if obs:
+        doc["obs"] = True
+    return doc
 
 
 def content_hash(fingerprint: Dict[str, Any]) -> str:
@@ -155,11 +166,13 @@ def result_to_dict(result: RunResult) -> Dict[str, Any]:
         "total_stall_cycles": result.total_stall_cycles,
         "total_misses": result.total_misses,
         "tier_misses": {tier.name: float(v) for tier, v in result.tier_misses.items()},
+        "empty_windows": result.empty_windows,
         "trace": (
             None if result.trace is None else [_record_to_dict(r) for r in result.trace]
         ),
         "workload_metrics": result.workload_metrics,
         "fast_pages": result.fast_pages,
+        "metrics_summary": result.metrics_summary,
     }
 
 
@@ -177,9 +190,11 @@ def result_from_dict(doc: Dict[str, Any]) -> RunResult:
         total_stall_cycles=doc["total_stall_cycles"],
         total_misses=doc["total_misses"],
         tier_misses={Tier[name]: v for name, v in doc["tier_misses"].items()},
+        empty_windows=doc.get("empty_windows", 0),
         trace=None if trace is None else [WindowRecord(**rec) for rec in trace],
         workload_metrics=doc.get("workload_metrics") or {},
         fast_pages=doc.get("fast_pages"),
+        metrics_summary=doc.get("metrics_summary") or {},
     )
 
 

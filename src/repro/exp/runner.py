@@ -21,6 +21,7 @@ from repro.exp.spec import (
     ExperimentSpec,
     RunRequest,
 )
+from repro.obs import Observability
 from repro.sim.config import MachineConfig
 from repro.sim.machine import Machine
 from repro.sim.metrics import RunResult
@@ -31,6 +32,10 @@ def execute_request(request: RunRequest) -> RunResult:
     """Run one request from scratch (no cache involvement)."""
     workload = request.workload.build()
     config = request.config if request.config is not None else MachineConfig()
+    # Requests asking for telemetry get a fresh bundle (with a bounded
+    # trace ring when tracing too); otherwise the machine resolves the
+    # plain trace flag itself, exactly as before the obs layer.
+    obs = Observability(trace=request.trace) if request.obs else None
     if request.kind == KIND_IDEAL:
         machine = Machine(
             workload=workload,
@@ -41,6 +46,7 @@ def execute_request(request: RunRequest) -> RunResult:
             contender=request.contender,
             seed=request.seed,
             trace=request.trace,
+            obs=obs,
         )
     elif request.kind == KIND_SLOW_ONLY:
         machine = Machine(
@@ -52,6 +58,7 @@ def execute_request(request: RunRequest) -> RunResult:
             contender=request.contender,
             seed=request.seed,
             trace=request.trace,
+            obs=obs,
         )
     else:
         machine = Machine(
@@ -62,6 +69,7 @@ def execute_request(request: RunRequest) -> RunResult:
             contender=request.contender,
             seed=request.seed,
             trace=request.trace,
+            obs=obs,
         )
     return machine.run(max_windows=request.max_windows)
 

@@ -127,6 +127,10 @@ class RunRequest:
     contender: Optional[MlcContender] = None
     max_windows: int = DEFAULT_MAX_WINDOWS
     trace: bool = False
+    #: Attach a :mod:`repro.obs` bundle to the run so its result carries
+    #: ``metrics_summary`` telemetry (and a bounded trace when ``trace``
+    #: is also set).  Affects the cache key only when True.
+    obs: bool = False
     kind: str = KIND_POLICY
 
     def __post_init__(self) -> None:
@@ -179,6 +183,7 @@ class RunRequest:
             contender=self.contender,
             max_windows=self.max_windows,
             trace=self.trace,
+            obs=self.obs,
         )
 
     @property
@@ -228,6 +233,10 @@ class ExperimentSpec:
     contenders: Sequence[Optional[MlcContender]] = (None,)
     max_windows: int = DEFAULT_MAX_WINDOWS
     trace: bool = False
+    #: Attach observability to every policy run in the grid (reference
+    #: runs stay plain so their cache entries are shared with obs-off
+    #: experiments).
+    obs: bool = False
     #: Emit the shared ideal / slow-only reference runs for each
     #: (workload, seed, contender) combination exactly once.
     include_ideal: bool = True
@@ -276,6 +285,7 @@ class ExperimentSpec:
                                     contender=contender,
                                     max_windows=self.max_windows,
                                     trace=self.trace,
+                                    obs=self.obs,
                                 )
                             )
         return requests

@@ -110,10 +110,14 @@ class StallModel:
         slow_spec: TierSpec,
         freq_ghz: float = CPU_FREQ_GHZ,
         prefetch_traffic_factor: float = DEFAULT_PREFETCH_TRAFFIC_FACTOR,
+        obs=None,
     ):
         self.spec = {Tier.FAST: fast_spec, Tier.SLOW: slow_spec}
         self.freq_ghz = freq_ghz
         self.prefetch_traffic_factor = prefetch_traffic_factor
+        #: Optional :class:`repro.obs.Observability` sink for the
+        #: fixed-point residual gauge (None = no publishing).
+        self._obs = obs
 
     def split_groups(
         self, groups: Sequence[AccessGroup], placement: np.ndarray
@@ -164,8 +168,8 @@ class StallModel:
 
         # Initial guess: unloaded latency, duration = compute + extra.
         duration = max(compute_cycles + extra_cycles, 1.0)
+        residual = 0.0
         for _ in range(_FIXED_POINT_ITERATIONS):
-            total_stalls = 0.0
             for tier, load in loads.items():
                 spec = self.spec[tier]
                 duration_ns = duration / self.freq_ghz
@@ -183,10 +187,15 @@ class StallModel:
                 loads[share.tier].stall_cycles += share.stall_cycles()
             total_stalls = sum(load.stall_cycles for load in loads.values())
             new_duration = max(compute_cycles + extra_cycles + total_stalls, 1.0)
+            residual = abs(new_duration - duration) / new_duration
             # Damped update stabilises the few pathological cases where
             # contention and duration oscillate.
             duration = 0.5 * duration + 0.5 * new_duration
 
+        if self._obs is not None:
+            # Residual of the last iteration: how far the damped solve
+            # still was from its fixed point (loop-health gauge).
+            self._obs.gauge("stall/fixed_point_residual", residual)
         for load in loads.values():
             load.mlp = _harmonic_mlp(
                 [s for s in shares if s.tier == load.tier]

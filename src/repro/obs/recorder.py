@@ -1,0 +1,138 @@
+"""Bounded window-trace recording with downsampling and export.
+
+:class:`TraceRecorder` replaces the old unbounded ``Machine._trace``
+list: a ring buffer of :class:`~repro.sim.metrics.WindowRecord` rows
+whose memory footprint is capped regardless of run length.  When the
+buffer wraps, the *oldest* windows are dropped (the tail of a run is
+what adaptivity analyses inspect) and the drop count is reported so
+truncation is never silent.  ``downsample=N`` keeps one window in every
+N, stretching the same capacity over proportionally longer runs.
+
+:class:`NullRecorder` is the disabled twin: ``append`` is a no-op, so a
+machine without tracing pays one predicate check per window and stores
+nothing.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+from typing import IO, List, Optional, Union
+
+from repro.sim.metrics import WindowRecord
+
+PathLike = Union[str, Path]
+
+#: Default ring capacity: bounds trace memory even at the simulator's
+#: 200k-window budget while keeping every window of typical runs.
+DEFAULT_TRACE_CAPACITY = 65_536
+
+
+def record_to_dict(record: WindowRecord) -> dict:
+    """JSON-serialisable view of one window record."""
+    return dataclasses.asdict(record)
+
+
+class TraceRecorder:
+    """Fixed-capacity ring buffer of per-window trace records."""
+
+    #: Whether this recorder actually keeps records (NullRecorder: False).
+    keeps_records = True
+
+    def __init__(
+        self, capacity: int = DEFAULT_TRACE_CAPACITY, downsample: int = 1
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if downsample <= 0:
+            raise ValueError("downsample must be positive")
+        self.capacity = capacity
+        self.downsample = downsample
+        self.dropped = 0
+        self.skipped = 0
+        self._ring: List[Optional[WindowRecord]] = [None] * capacity
+        self._next = 0
+        self._count = 0
+
+    def __len__(self) -> int:
+        return min(self._count, self.capacity)
+
+    def append(self, record: WindowRecord) -> None:
+        """Add one window (subject to downsampling and the ring bound)."""
+        if self.downsample > 1 and record.window % self.downsample != 0:
+            self.skipped += 1
+            return
+        if self._count >= self.capacity:
+            self.dropped += 1
+        self._ring[self._next] = record
+        self._next = (self._next + 1) % self.capacity
+        self._count += 1
+
+    def records(self) -> List[WindowRecord]:
+        """Retained records, oldest first."""
+        kept = len(self)
+        if kept < self.capacity:
+            rows = self._ring[:kept]
+        else:
+            rows = self._ring[self._next :] + self._ring[: self._next]
+        return [row for row in rows if row is not None]
+
+    # -- export --------------------------------------------------------------
+
+    def write_jsonl(self, target: Union[PathLike, IO[str]]) -> int:
+        """Write one JSON object per retained window; returns row count."""
+        rows = self.records()
+        if hasattr(target, "write"):
+            for rec in rows:
+                target.write(json.dumps(record_to_dict(rec), sort_keys=True) + "\n")
+        else:
+            path = Path(target)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with path.open("w") as fh:
+                for rec in rows:
+                    fh.write(json.dumps(record_to_dict(rec), sort_keys=True) + "\n")
+        return len(rows)
+
+    def write_csv(self, target: PathLike) -> int:
+        """Write retained windows as CSV (scalar columns only)."""
+        rows = self.records()
+        columns = [
+            f.name
+            for f in dataclasses.fields(WindowRecord)
+            if f.name not in ("policy_debug", "label_stalls", "metrics")
+        ]
+        path = Path(target)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(columns)
+            for rec in rows:
+                writer.writerow([getattr(rec, col) for col in columns])
+        return len(rows)
+
+
+class NullRecorder:
+    """No-op recorder used when tracing is disabled."""
+
+    keeps_records = False
+    capacity = 0
+    downsample = 1
+    dropped = 0
+    skipped = 0
+
+    def __len__(self) -> int:
+        return 0
+
+    def append(self, record: WindowRecord) -> None:
+        """Discard the record."""
+
+    def records(self) -> List[WindowRecord]:
+        return []
+
+    def write_jsonl(self, target) -> int:  # noqa: ARG002 - interface parity
+        return 0
+
+    def write_csv(self, target) -> int:  # noqa: ARG002 - interface parity
+        return 0

@@ -37,8 +37,13 @@ def run_policy(
     contender: Optional[MlcContender] = None,
     trace: bool = False,
     max_windows: int = DEFAULT_MAX_WINDOWS,
+    obs=None,
 ) -> RunResult:
-    """Run one workload under one policy at one fast:slow ratio."""
+    """Run one workload under one policy at one fast:slow ratio.
+
+    Pass an :class:`repro.obs.Observability` as ``obs`` to collect
+    metric telemetry (and a bounded window trace) for the run.
+    """
     machine = Machine(
         workload=workload,
         policy=policy,
@@ -47,6 +52,7 @@ def run_policy(
         contender=contender,
         seed=seed,
         trace=trace,
+        obs=obs,
     )
     return machine.run(max_windows=max_windows)
 

@@ -19,7 +19,7 @@ the paper's slowdown metric compares it to an ideal all-DRAM run.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -28,6 +28,7 @@ from repro.hw.cha import ChaTorCounters
 from repro.hw.pebs import PebsBatch, PebsSampler
 from repro.hw.perf import PerfCounters
 from repro.hw.stall import StallModel
+from repro.obs import Observability, resolve as resolve_obs
 from repro.mem.page import Tier
 from repro.mem.tiered import TieredMemory
 from repro.sim.config import MachineConfig
@@ -54,13 +55,17 @@ class Machine:
         contender: Optional[MlcContender] = None,
         seed: int = 0,
         trace: bool = False,
+        obs: Optional[Observability] = None,
     ):
         self.workload = workload
         self.policy = policy
         self.config = config if config is not None else MachineConfig()
         self.ratio = ratio
         self.contender = contender
-        self.trace_enabled = trace
+        #: Observability bundle: an explicit ``obs`` wins, else
+        #: ``trace=True`` builds an enabled one, else the no-op singleton.
+        self.obs = resolve_obs(obs, trace)
+        self.trace_enabled = self.obs.wants_trace
 
         footprint = workload.footprint_pages
         if fast_capacity_override is not None:
@@ -76,7 +81,10 @@ class Machine:
         )
         pebs_rng, cha_rng, perf_rng = split(seed, "pebs", "cha", "perf")
         self.stall_model = StallModel(
-            self.config.fast_spec, self.config.slow_spec, self.config.freq_ghz
+            self.config.fast_spec,
+            self.config.slow_spec,
+            self.config.freq_ghz,
+            obs=self.obs if self.obs.enabled else None,
         )
         self.cha = ChaTorCounters(noise=self.config.counter_noise, rng=cha_rng)
         self.perf = PerfCounters(noise=self.config.counter_noise, rng=perf_rng)
@@ -90,16 +98,18 @@ class Machine:
                 rng=pebs_rng,
                 report_latency=policy.wants_pebs_latency,
             )
-        self.engine = MigrationEngine(self.memory, self.config)
+        self.engine = MigrationEngine(
+            self.memory, self.config, obs=self.obs if self.obs.enabled else None
+        )
 
         self._pending_overhead_cycles = 0.0
         self._pending_bytes: Dict[Tier, float] = {}
         self._last_duration = _INITIAL_WINDOW_CYCLES
         self._last_perf = self.perf.read()
         self._last_tor = self.cha.read()
-        self._trace: List[WindowRecord] = []
         self._runtime_cycles = 0.0
         self._window = 0
+        self._empty_windows = 0
 
         workload.reset()
         policy.attach(self)
@@ -130,6 +140,7 @@ class Machine:
         """Advance the simulation by one sampling window."""
         traffic = self.workload.next_window()
         if not traffic.groups:
+            self._step_empty_window()
             return
         touched = traffic.touched_pages()
         self.memory.allocate_first_touch(touched, prefer=self.policy.alloc_prefer)
@@ -146,9 +157,10 @@ class Machine:
         self._pending_overhead_cycles = 0.0
         self._pending_bytes = {}
 
-        outcome = self.stall_model.solve(
-            shares, traffic.compute_cycles, extra_bytes=extra_bytes, extra_cycles=extra_cycles
-        )
+        with self.obs.profile("stall_solve"):
+            outcome = self.stall_model.solve(
+                shares, traffic.compute_cycles, extra_bytes=extra_bytes, extra_cycles=extra_cycles
+            )
         # Sample after the solve so TPEBS-style latency reporting sees
         # each share's effective (loaded) latency; the PEBS processing
         # overhead is charged to the next window (the dedicated thread
@@ -163,8 +175,10 @@ class Machine:
             self.memory.touch(all_pages, self._window, counts=all_counts)
 
         obs = self._observe(pebs_batch, touched, outcome.duration_cycles)
-        decision = self.policy.observe(obs)
-        migration = self._apply(decision)
+        with self.obs.profile("policy_observe"):
+            decision = self.policy.observe(obs)
+        with self.obs.profile("migration_apply"):
+            migration = self._apply(decision)
 
         duration = outcome.duration_cycles
         duration += self.policy.window_overhead_cycles(obs)
@@ -182,9 +196,32 @@ class Machine:
 
         self._runtime_cycles += duration
         self._last_duration = duration
+        if self.obs.enabled:
+            self._publish_window(outcome, migration, duration)
         if self.trace_enabled:
             self._record(traffic.phase, outcome, migration, obs, duration)
         self._window += 1
+
+    def _step_empty_window(self) -> None:
+        """One window in which the workload emitted no traffic.
+
+        Idle phases (and workload stubs that stall between bursts) must
+        still advance the window clock -- otherwise ``run()``'s
+        ``max_windows`` budget never binds and the loop spins forever --
+        and must still pay overheads already charged to this window
+        (PEBS drain, background-migration interference).  Pending link
+        bytes from last window's migration copies are *kept* for the
+        next window with traffic, where contention can be modelled.
+        """
+        duration = self._pending_overhead_cycles
+        self._pending_overhead_cycles = 0.0
+        self._runtime_cycles += duration
+        self._window += 1
+        self._empty_windows += 1
+        if self.obs.enabled:
+            self.obs.count("machine/windows")
+            self.obs.count("machine/empty_windows")
+            self.obs.observe("machine/window_duration_cycles", duration)
 
     # -- internals ----------------------------------------------------------------
 
@@ -253,13 +290,32 @@ class Machine:
             parts.append(self.engine.promote(decision.promote, make_room=False))
         return parts
 
+    def _publish_window(self, outcome, migration, duration) -> None:
+        """Publish this window's loop-health metrics into the registry."""
+        o = self.obs
+        o.count("machine/windows")
+        # Zero-delta so the empty-window count is always reported, even
+        # (especially) when it is zero.
+        o.count("machine/empty_windows", 0.0)
+        o.observe("machine/window_duration_cycles", duration)
+        o.gauge("migrate/promoted_last_window", migration.promoted)
+        o.gauge("migrate/demoted_last_window", migration.demoted)
+        o.gauge("machine/fast_resident_fraction", self.memory.resident_fraction(Tier.FAST))
+        for tier, tag in ((Tier.FAST, "fast"), (Tier.SLOW, "slow")):
+            load = outcome.tier_loads[tier]
+            o.gauge(f"hw/util_{tag}", load.utilisation)
+            o.gauge(f"hw/effective_latency_{tag}_cycles", load.effective_latency_cycles)
+            used = self.memory.used[tier]
+            cap = self.memory.capacity[tier]
+            o.gauge(f"mem/occupancy_{tag}", used / cap if cap > 0 else 0.0)
+
     def _record(self, phase, outcome, migration, obs, duration) -> None:
         loads = outcome.tier_loads
         label_stalls: Dict[str, float] = {}
         for share in outcome.shares:
             prefix = share.label.split(":", 1)[0] if share.label else ""
             label_stalls[prefix] = label_stalls.get(prefix, 0.0) + share.stall_cycles()
-        self._trace.append(
+        self.obs.recorder.append(
             WindowRecord(
                 window=self._window,
                 duration_cycles=duration,
@@ -274,6 +330,7 @@ class Machine:
                 phase=phase,
                 policy_debug=self.policy.debug_info(),
                 label_stalls=label_stalls,
+                metrics=self.obs.window_metrics(),
             )
         )
 
@@ -291,11 +348,13 @@ class Machine:
             total_stall_cycles=sum(perf.stall_cycles.values()),
             total_misses=sum(perf.llc_misses.values()),
             tier_misses=dict(perf.llc_misses),
-            trace=self._trace if self.trace_enabled else None,
+            empty_windows=self._empty_windows,
+            trace=self.obs.recorder.records() if self.trace_enabled else None,
             workload_metrics=self.workload.final_metrics(),
             fast_pages=(
                 np.flatnonzero(self.memory.placement == int(Tier.FAST)).tolist()
                 if self.trace_enabled
                 else None
             ),
+            metrics_summary=self.obs.summary(),
         )

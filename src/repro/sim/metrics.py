@@ -29,6 +29,10 @@ class WindowRecord:
     #: before ':' in a group label) -- lets colocation benches attribute
     #: stalls to individual co-running processes.
     label_stalls: Dict[str, float] = field(default_factory=dict)
+    #: Observability gauge snapshot for this window (per-tier utilisation
+    #: and effective latency, eviction-bar level, solver residual, ...).
+    #: Empty when the run carries no :mod:`repro.obs` bundle.
+    metrics: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -46,6 +50,9 @@ class RunResult:
     total_stall_cycles: float
     total_misses: float
     tier_misses: Dict[Tier, float]
+    #: Windows in which the workload emitted no traffic (idle phases).
+    #: They count toward ``windows`` and the ``max_windows`` budget.
+    empty_windows: int = 0
     trace: Optional[List[WindowRecord]] = None
     #: Workload-reported end-of-run metrics (``Workload.final_metrics``),
     #: e.g. per-member finish windows for colocated workloads.  Must stay
@@ -55,6 +62,11 @@ class RunResult:
     #: only for traced runs; lets benches inspect final placement even
     #: when the run executed in a worker process or came from cache).
     fast_pages: Optional[List[int]] = None
+    #: Run-level observability snapshot (:meth:`Observability.summary`):
+    #: deterministic, JSON-serialisable, empty when observability is off.
+    #: Travels through the experiment cache and worker processes so
+    #: cached and parallel runs carry identical telemetry.
+    metrics_summary: Dict[str, float] = field(default_factory=dict)
 
     @property
     def runtime_ms(self) -> float:

@@ -47,9 +47,12 @@ class MigrationOutcome:
 class MigrationEngine:
     """Applies promotion/demotion orders against the tiered memory."""
 
-    def __init__(self, memory: TieredMemory, config: MachineConfig):
+    def __init__(self, memory: TieredMemory, config: MachineConfig, obs=None):
         self.memory = memory
         self.config = config
+        #: Optional :class:`repro.obs.Observability` sink for cumulative
+        #: promotion/demotion/cost counters (None = no publishing).
+        self._obs = obs
         self.total_promoted = 0
         self.total_demoted = 0
         self.total_cost_cycles = 0.0
@@ -137,6 +140,9 @@ class MigrationEngine:
         else:
             self.total_demoted += count
         self.total_cost_cycles += cost
+        if self._obs is not None and count:
+            self._obs.count("migrate/promoted_pages" if promoted else "migrate/demoted_pages", count)
+            self._obs.count("migrate/cost_cycles", cost)
         return MigrationOutcome(
             promoted=count if promoted else 0,
             demoted=0 if promoted else count,

@@ -46,12 +46,15 @@ def result_to_dict(result: RunResult, include_trace: bool = True) -> dict:
         "total_stall_cycles": result.total_stall_cycles,
         "total_misses": result.total_misses,
         "tier_misses": {tier.name.lower(): v for tier, v in result.tier_misses.items()},
+        "empty_windows": result.empty_windows,
+        "metrics_summary": result.metrics_summary,
     }
     if include_trace and result.trace is not None:
         payload["trace"] = [
             {
                 **{col: getattr(rec, col) for col in _TRACE_COLUMNS},
                 "policy_debug": rec.policy_debug,
+                "metrics": rec.metrics,
             }
             for rec in result.trace
         ]
@@ -78,6 +81,40 @@ def write_trace_csv(result: RunResult, path: PathLike) -> Path:
         for rec in result.trace:
             writer.writerow([getattr(rec, col) for col in _TRACE_COLUMNS])
     return path
+
+
+def trace_rows(result: RunResult) -> list:
+    """JSON-serialisable per-window rows (requires a traced run)."""
+    if result.trace is None:
+        raise ValueError("run was not traced; construct the Machine with trace=True")
+    return [
+        {
+            **{col: getattr(rec, col) for col in _TRACE_COLUMNS},
+            "policy_debug": rec.policy_debug,
+            "metrics": rec.metrics,
+        }
+        for rec in result.trace
+    ]
+
+
+def write_trace_jsonl(result: RunResult, target) -> int:
+    """Write the per-window trace as JSONL (one window per line).
+
+    ``target`` may be a path or an open text stream; returns the number
+    of rows written.  Works on any traced :class:`RunResult`, including
+    results restored from the experiment cache.
+    """
+    rows = trace_rows(result)
+    if hasattr(target, "write"):
+        for row in rows:
+            target.write(json.dumps(row, sort_keys=True) + "\n")
+        return len(rows)
+    path = Path(target)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for row in rows:
+            fh.write(json.dumps(row, sort_keys=True) + "\n")
+    return len(rows)
 
 
 def read_json(path: PathLike) -> dict:

@@ -1,6 +1,7 @@
 """The command-line interface."""
 
 import io
+import json
 
 import pytest
 
@@ -71,3 +72,55 @@ class TestCommands:
         code, text = run_cli("calibrate", "--windows", "3")
         assert code == 0
         assert "fitted k" in text
+
+
+class TestTrace:
+    def test_jsonl_to_stdout(self):
+        code, text = run_cli(
+            "trace", "gups", "PACT", "--ratio", "1:2", "--work", "2000000",
+        )
+        assert code == 0
+        rows = [json.loads(line) for line in text.splitlines()]
+        assert rows
+        assert rows[0]["window"] == 0
+        for row in rows:
+            assert "promoted" in row and "demoted" in row
+            assert "hw/util_fast" in row["metrics"]
+            assert "mem/occupancy_slow" in row["metrics"]
+            assert "pact/eviction_bar" in row["metrics"]
+
+    def test_downsampled_jsonl_file(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        code, text = run_cli(
+            "trace", "gups", "PACT", "--work", "2000000",
+            "--downsample", "4", "-o", str(target),
+        )
+        assert code == 0
+        assert "wrote" in text and "machine/windows" in text
+        rows = [json.loads(line) for line in target.read_text().splitlines()]
+        assert all(row["window"] % 4 == 0 for row in rows)
+
+    def test_csv_requires_output(self):
+        code, text = run_cli(
+            "trace", "gups", "PACT", "--format", "csv", "--work", "2000000",
+        )
+        assert code == 2
+        assert "requires --output" in text
+
+    def test_csv_file(self, tmp_path):
+        target = tmp_path / "trace.csv"
+        code, _ = run_cli(
+            "trace", "gups", "NoTier", "--format", "csv",
+            "--work", "2000000", "-o", str(target),
+        )
+        assert code == 0
+        header = target.read_text().splitlines()[0]
+        assert "window" in header and "stall_cycles" in header
+
+    def test_timings_table(self):
+        code, text = run_cli(
+            "trace", "gups", "PACT", "--work", "2000000",
+            "--timings", "-o", "/dev/null",
+        )
+        assert code == 0
+        assert "stall_solve" in text and "wall time" in text

@@ -44,5 +44,5 @@ def test_latency_configs_cover_three_setups():
 
 
 def test_tier_spec_is_immutable():
-    with pytest.raises(Exception):
+    with pytest.raises(AttributeError):
         units.DRAM_SPEC.latency_ns = 100.0
