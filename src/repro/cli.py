@@ -6,6 +6,7 @@ Examples::
     python -m repro sweep --workload gpt-2 --policies PACT Colloid NoTier
     python -m repro compare --ratio 1:1 --workloads bc-kron gups silo
     python -m repro bench --workloads bc-kron gups --ratios 1:1 1:2 --jobs 4
+    python -m repro perf --quick
     python -m repro calibrate
     python -m repro list
 
@@ -33,6 +34,7 @@ from repro.exp.runner import run_experiment
 from repro.exp.spec import ExperimentSpec, WorkloadSpec
 from repro.mem.page import Tier
 from repro.obs import DEFAULT_TRACE_CAPACITY, Observability
+from repro.perf import harness as perf_harness
 from repro.sim import traceio
 from repro.sim.config import MachineConfig, PAPER_RATIOS
 from repro.sim.engine import ideal_baseline, run_policy
@@ -113,6 +115,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print host wall-clock span totals (not part of the trace)",
     )
     _common_args(trace_p)
+
+    perf_p = sub.add_parser(
+        "perf",
+        help="simulator-throughput suite; gates on the committed baseline",
+    )
+    perf_p.add_argument(
+        "--quick", action="store_true",
+        help="graph scenarios only (CI smoke; same parameters as the full suite)",
+    )
+    perf_p.add_argument(
+        "--repeats", type=int, default=2, help="timed repeats per scenario (best wins)"
+    )
+    perf_p.add_argument(
+        "--no-profile", action="store_true",
+        help="skip the extra profiled repeat (no per-span breakdown)",
+    )
+    perf_p.add_argument(
+        "--baseline", default=perf_harness.DEFAULT_BASELINE_PATH,
+        help="baseline JSON to compare against (default: %(default)s)",
+    )
+    perf_p.add_argument(
+        "--threshold", type=float, default=perf_harness.DEFAULT_THRESHOLD,
+        help="fail when normalised win/s drops more than this fraction (default: %(default)s)",
+    )
+    perf_p.add_argument(
+        "--update-baseline", action="store_true",
+        help="write this run's report over the baseline instead of comparing",
+    )
+    perf_p.add_argument(
+        "--output", "-o", default=perf_harness.DEFAULT_REPORT_PATH,
+        help="where to write the report (default: %(default)s)",
+    )
 
     cal_p = sub.add_parser("calibrate", help="fit Equation 1's k on the corpus")
     cal_p.add_argument("--windows", type=int, default=10, help="windows per corpus point")
@@ -311,6 +345,52 @@ def cmd_trace(args, out) -> int:
     return 0
 
 
+def cmd_perf(args, out) -> int:
+    """Time the macro suite, report spans, gate on the committed baseline."""
+    def progress(name, record):
+        print(
+            f"  {name:14s} {record['windows']:5d} windows  "
+            f"{record['wall_seconds']:6.2f}s  {record['windows_per_sec']:8.1f} win/s",
+            file=out,
+        )
+
+    suite_kind = "quick" if args.quick else "full"
+    print(f"perf suite ({suite_kind}), best of {args.repeats} repeats:", file=out)
+    report = perf_harness.run_suite(
+        quick=args.quick,
+        repeats=args.repeats,
+        profile=not args.no_profile,
+        progress=progress,
+    )
+    print(f"calibration: {report['calibration_ops_per_sec']:.1f} kernel iters/s", file=out)
+    if not args.no_profile:
+        for name, record in report["scenarios"].items():
+            rows = perf_harness.span_rows(record)
+            if rows:
+                print(f"spans for {name}:", file=out)
+                print(format_table(["span", "wall time", "calls"], rows), file=out)
+    perf_harness.write_report(report, args.output)
+    print(f"wrote report to {args.output}", file=out)
+    if args.update_baseline:
+        perf_harness.write_report(report, args.baseline)
+        print(f"updated baseline at {args.baseline}", file=out)
+        return 0
+    baseline = perf_harness.load_report(args.baseline)
+    if baseline is None:
+        print(
+            f"no baseline at {args.baseline}; run with --update-baseline to create one",
+            file=out,
+        )
+        return 0
+    problems = perf_harness.compare(report, baseline, threshold=args.threshold)
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=out)
+        return 1
+    print(f"OK: within {args.threshold:.0%} of baseline (calibration-normalised)", file=out)
+    return 0
+
+
 def cmd_calibrate(args, out) -> int:
     corpus = generate_corpus(total_misses=2_000_000, misses_per_window=200_000)
     coeff = calibrate_k(corpus, max_windows_each=args.windows, seed=args.seed)
@@ -342,6 +422,7 @@ _COMMANDS = {
     "compare": cmd_compare,
     "bench": cmd_bench,
     "trace": cmd_trace,
+    "perf": cmd_perf,
     "calibrate": cmd_calibrate,
     "list": cmd_list,
 }

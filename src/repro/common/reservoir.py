@@ -52,8 +52,39 @@ class Reservoir:
         return False
 
     def offer_many(self, values: Iterable[float]) -> None:
-        for value in values:
-            self.offer(value)
+        """Offer a batch of observations; bit-identical to looped ``offer``.
+
+        The steady-state loop draws one bounded integer per observation,
+        with the bound advancing by one each draw.  numpy's broadcast
+        ``integers(0, highs)`` consumes the generator stream exactly as
+        the equivalent sequence of scalar calls does (same values, same
+        state afterwards), so the whole batch collapses into a single
+        vectorised draw; only the rare replacement hits (``capacity/seen``
+        each, i.e. O(capacity * log(seen)) in total) touch the buffer.
+        """
+        if isinstance(values, np.ndarray):
+            values = values.astype(float, copy=False).ravel()
+        else:
+            values = np.asarray(list(values), dtype=float)
+        if values.size == 0:
+            return
+        start = 0
+        room = self.capacity - len(self._buffer)
+        if room > 0:
+            take = min(room, values.size)
+            self._buffer.extend(values[:take].tolist())
+            self._seen += take
+            start = take
+        rest = values[start:]
+        if rest.size == 0:
+            return
+        highs = self._seen + 1 + np.arange(rest.size, dtype=np.int64)
+        slots = self._rng.integers(0, highs)
+        self._seen += int(rest.size)
+        hit = slots < self.capacity
+        # Later writes to the same slot win, exactly as in the loop.
+        for slot, value in zip(slots[hit].tolist(), rest[hit].tolist()):
+            self._buffer[slot] = value
 
     def values(self) -> np.ndarray:
         """Copy of the current sample."""

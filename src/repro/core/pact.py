@@ -32,6 +32,30 @@ from repro.mem.page import Tier
 from repro.sim.policy_api import Decision, Observation, TieringPolicy
 
 
+def _top_k_indices(values: np.ndarray, k: int) -> Optional[np.ndarray]:
+    """Indices of the ``k`` largest ``values`` via partial selection.
+
+    Returns ``None`` when values equal to the k-th largest straddle the
+    selection boundary: the winning subset is then decided by sort-order
+    tie-breaking, so the caller must fall back to the legacy full sort to
+    keep the selected *set* identical to the pre-top-k code.  With no
+    boundary tie the partitioned set provably equals the sorted prefix
+    (everything excluded is strictly smaller than everything included),
+    and downstream consumers only use the set -- ``MigrationEngine``
+    re-sorts via ``np.unique`` before moving pages.
+    """
+    n = values.size
+    if k >= n:
+        return np.argsort(values)[::-1]
+    split = n - k
+    part = np.argpartition(values, split)
+    kth = values[part[split]]
+    if (values[part[:split]] == kth).any():
+        return None
+    top = part[split:]
+    return top[np.argsort(values[top])[::-1]]
+
+
 class PactPolicy(TieringPolicy):
     """The full PACT system as a pluggable tiering policy."""
 
@@ -224,20 +248,42 @@ class PactPolicy(TieringPolicy):
         if elig_pages.size == 0 or want <= 0:
             self._last_candidate_count = 0
             return np.empty(0, dtype=np.int64)
-        order = np.argsort(elig_values)[::-1]
-        ranked = elig_pages[order]
         if self._thp:
-            # Migration moves whole 2MB regions: keep one representative
-            # (the highest-PAC page) per huge page and budget in whole
-            # units.  The budget stays clamped to the per-window cap in
-            # 4KB pages: when the cap cannot fit even one huge page
-            # (tiny fast tiers), promote nothing rather than overshoot
-            # the migration bound by flooring the budget up to 2MB.
-            huge = ranked >> 9
-            _, first = np.unique(huge, return_index=True)
-            ranked = ranked[np.sort(first)]
+            # Migration moves whole 2MB regions: rank huge pages by
+            # their hottest constituent page and budget in whole units.
+            # The budget stays clamped to the per-window cap in 4KB
+            # pages: when the cap cannot fit even one huge page (tiny
+            # fast tiers), promote nothing rather than overshoot the
+            # migration bound by flooring the budget up to 2MB.
+            # ``elig_pages`` is ascending (tracked_pages order), so each
+            # huge page is one contiguous run and reduceat yields its
+            # peak PAC without sorting all pages.
             want //= PAGES_PER_HUGE_PAGE
-        candidates = ranked[:want]
+            huge = elig_pages >> 9
+            starts = np.flatnonzero(np.r_[True, huge[1:] != huge[:-1]])
+            if want <= 0:
+                candidates = np.empty(0, dtype=np.int64)
+            else:
+                peaks = np.maximum.reduceat(elig_values, starts)
+                top = _top_k_indices(peaks, want)
+                if top is None:
+                    # Peak ties straddle the boundary: reproduce the
+                    # legacy full ranking (sort pages, dedupe per huge
+                    # page by first occurrence) bit-for-bit.
+                    order = np.argsort(elig_values)[::-1]
+                    ranked = elig_pages[order]
+                    _, first = np.unique(ranked >> 9, return_index=True)
+                    candidates = ranked[np.sort(first)][:want]
+                else:
+                    # Any resident page stands for its huge page: the
+                    # engine expands promotions to the whole 2MB region.
+                    candidates = elig_pages[starts[top]]
+        else:
+            top = _top_k_indices(elig_values, want)
+            if top is None:
+                candidates = elig_pages[np.argsort(elig_values)[::-1]][:want]
+            else:
+                candidates = elig_pages[top]
         self._last_candidate_count = int(candidates.size)
         return candidates
 

@@ -93,9 +93,14 @@ class PebsSampler:
         the fast tier as well would double PEBS overhead for little
         policy value, since demotion candidates come from the LRU lists.
         """
+        # The two binomial draws must stay sequenced per share (the
+        # record draw thins the load draw's result), so the RNG stream
+        # -- and thus every sampled record -- matches the original
+        # per-share loop exactly.  Everything downstream of the draws is
+        # batched: one concatenate, one unique, one bincount.
         all_pages = []
         all_records = []
-        all_latency = []
+        share_units = []
         for share in shares:
             if share.tier not in tiers:
                 continue
@@ -104,30 +109,32 @@ class PebsSampler:
                 # Thin writes out before the 1-in-N event sampling.
                 counts = self._rng.binomial(counts, _load_fraction(share))
             records = self._rng.binomial(counts, 1.0 / self.rate)
-            hit = records > 0
-            if hit.any():
-                all_pages.append(share.pages[hit])
-                all_records.append(records[hit])
-                if self.report_latency:
-                    # Exposed latency per load = effective latency / MLP,
-                    # which is exactly the share's unit stall cost.
-                    all_latency.append(
-                        np.full(int(hit.sum()), share.unit_stall_cycles)
-                    )
+            all_pages.append(share.pages)
+            all_records.append(records)
+            # Exposed latency per load = effective latency / MLP, which
+            # is exactly the share's unit stall cost.
+            share_units.append(share.unit_stall_cycles)
         if not all_pages:
             return PebsBatch.empty(self.rate)
-        pages = np.concatenate(all_pages)
-        records = np.concatenate(all_records)
+        pages = np.concatenate(all_pages) if len(all_pages) > 1 else all_pages[0]
+        records = np.concatenate(all_records) if len(all_records) > 1 else all_records[0]
+        hit = records > 0
+        pages = pages[hit]
+        records = records[hit]
+        if pages.size == 0:
+            return PebsBatch.empty(self.rate)
         # The same page can appear in several groups; merge duplicates
-        # (record-weighted mean for latencies).
+        # (record-weighted mean for latencies).  bincount accumulates in
+        # input-element order, i.e. bit-identically to a np.add.at loop,
+        # and integer-valued float64 sums are exact far beyond any
+        # realistic record count.
         uniq, inverse = np.unique(pages, return_inverse=True)
-        merged = np.zeros(uniq.size, dtype=np.int64)
-        np.add.at(merged, inverse, records)
+        merged = np.bincount(inverse, weights=records, minlength=uniq.size).astype(np.int64)
         latencies = None
         if self.report_latency:
-            lat = np.concatenate(all_latency)
-            weighted = np.zeros(uniq.size, dtype=float)
-            np.add.at(weighted, inverse, lat * records)
+            sizes = [p.size for p in all_pages]
+            lat = np.repeat(np.asarray(share_units, dtype=float), sizes)[hit]
+            weighted = np.bincount(inverse, weights=lat * records, minlength=uniq.size)
             latencies = weighted / np.maximum(merged, 1)
         total = int(merged.sum())
         return PebsBatch(

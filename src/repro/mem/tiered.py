@@ -9,20 +9,39 @@
   in for the kernel's (MG)LRU lists that PACT's eager demotion consults),
 * first-touch allocation (fill the fast tier, then spill to slow), which
   is also the paper's NoTier baseline.
+
+Tier accounting is incremental: mutators (``allocate_first_touch``,
+``move``, ``touch``) maintain per-tier resident counts and activity sums
+in O(pages changed), and the derived queries (``pages_in_tier``,
+``mean_activity``, ``resident_fraction``) are served from
+generation-stamped caches instead of rescanning ``placement`` on every
+call.  The cached answers are bit-identical to the full scans they
+replace (same sorted page arrays, same ``np.mean`` reduction); setting
+``REPRO_DEBUG_ACCOUNTING=1`` cross-checks every mutation against a
+from-scratch scan.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import os
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.common.units import TierSpec
 from repro.mem.page import Tier, UNALLOCATED
 
+#: Environment switch: cross-check incremental accounting against full
+#: placement scans after every mutation (slow; meant for tests).
+DEBUG_ACCOUNTING_ENV = "REPRO_DEBUG_ACCOUNTING"
+
 
 class CapacityError(ValueError):
     """Raised when tier capacities cannot hold the requested placement."""
+
+
+class AccountingError(RuntimeError):
+    """Incremental tier accounting diverged from a full placement scan."""
 
 
 class TieredMemory:
@@ -35,6 +54,7 @@ class TieredMemory:
         slow_capacity_pages: int,
         fast_spec: TierSpec,
         slow_spec: TierSpec,
+        debug_accounting: Optional[bool] = None,
     ):
         if footprint_pages <= 0:
             raise ValueError("footprint must be positive")
@@ -67,6 +87,23 @@ class TieredMemory:
         #: Pages pinned in the fast tier (Nomad shadow copies, etc.).
         self._pinned = np.zeros(footprint_pages, dtype=bool)
 
+        # -- incremental accounting state ---------------------------------
+        #: Bumped whenever placement changes (allocation, migration).
+        self._placement_gen = 0
+        #: Bumped whenever ``activity`` changes (touch, lazy decay).
+        self._activity_gen = 0
+        #: O(delta)-maintained per-tier sum of resident pages' activity.
+        self._activity_sum = {Tier.FAST: 0.0, Tier.SLOW: 0.0}
+        #: tier -> (placement generation, sorted resident page ids).
+        self._resident_cache: Dict[Tier, Tuple[int, np.ndarray]] = {}
+        #: tier -> ((placement gen, activity gen), mean activity).
+        self._mean_cache: Dict[Tier, Tuple[Tuple[int, int], float]] = {}
+        #: Reusable scratch mask for ``lru_victims`` protection.
+        self._protect_scratch = np.zeros(footprint_pages, dtype=bool)
+        if debug_accounting is None:
+            debug_accounting = bool(os.environ.get(DEBUG_ACCOUNTING_ENV))
+        self.debug_accounting = debug_accounting
+
     # -- queries ------------------------------------------------------------
 
     def free_pages(self, tier: Tier) -> int:
@@ -77,8 +114,20 @@ class TieredMemory:
         return self.placement[np.asarray(pages, dtype=np.int64)]
 
     def pages_in_tier(self, tier: Tier) -> np.ndarray:
-        """All page ids currently resident in ``tier``."""
-        return np.flatnonzero(self.placement == int(tier)).astype(np.int64)
+        """All page ids currently resident in ``tier`` (sorted ascending).
+
+        Served from a generation-stamped cache: the placement array is
+        rescanned at most once per placement change, however many times
+        queries run within a window.  Treat the returned array as
+        read-only -- it is shared between callers until the next
+        migration or allocation invalidates it.
+        """
+        cached = self._resident_cache.get(tier)
+        if cached is not None and cached[0] == self._placement_gen:
+            return cached[1]
+        pages = np.flatnonzero(self.placement == int(tier)).astype(np.int64)
+        self._resident_cache[tier] = (self._placement_gen, pages)
+        return pages
 
     def resident_fraction(self, tier: Tier) -> float:
         """Fraction of the allocated footprint resident in ``tier``."""
@@ -86,6 +135,17 @@ class TieredMemory:
         if allocated == 0:
             return 0.0
         return self.used[tier] / allocated
+
+    def activity_sum(self, tier: Tier) -> float:
+        """O(1) incremental sum of the tier's resident-page activity.
+
+        Maintained by the mutators; within float rounding of
+        ``activity[pages_in_tier(tier)].sum()`` (the debug cross-check
+        asserts the two agree).  Decision paths that must be bit-stable
+        use :meth:`mean_activity`, which reduces over the cached
+        resident array exactly as the pre-incremental code did.
+        """
+        return self._activity_sum[tier]
 
     # -- allocation and access tracking --------------------------------------
 
@@ -116,9 +176,16 @@ class TieredMemory:
         self.placement[fresh[take:]] = int(other)
         self.used[prefer] += take
         self.used[other] += spill
+        # Pages can carry activity from touches predating allocation;
+        # fold it into the destination tiers' running sums.
+        self._activity_sum[prefer] += float(self.activity[fresh[:take]].sum())
+        self._activity_sum[other] += float(self.activity[fresh[take:]].sum())
+        self._placement_gen += 1
         # Allocation order is LRU-list arrival order.
         self.arrival[fresh] = self._arrival_counter + np.arange(1, fresh.size + 1)
         self._arrival_counter += fresh.size
+        if self.debug_accounting:
+            self.check_accounting()
         return (int(take), int(spill))
 
     def touch(
@@ -132,23 +199,54 @@ class TieredMemory:
         pages = np.asarray(pages, dtype=np.int64)
         self._decay_activity(window)
         self.last_touch[pages] = window
+        tiers = self.placement[pages]
         if counts is None:
+            # Fancy-indexed += applies once per *unique* page; mirror
+            # that in the per-tier sums.
             self.activity[pages] += 1.0
+            unique_tiers = tiers if pages.size == np.unique(pages).size else (
+                self.placement[np.unique(pages)]
+            )
+            for tier in (Tier.FAST, Tier.SLOW):
+                self._activity_sum[tier] += float((unique_tiers == int(tier)).sum())
         else:
-            np.add.at(self.activity, pages, np.asarray(counts, dtype=float))
+            counts = np.asarray(counts, dtype=float)
+            np.add.at(self.activity, pages, counts)
+            # One bincount pass yields the per-placement count sums
+            # (slot 0 absorbs UNALLOCATED pages, which belong to no tier).
+            sums = np.bincount(tiers.astype(np.intp) + 1, weights=counts, minlength=3)
+            self._activity_sum[Tier.FAST] += float(sums[int(Tier.FAST) + 1])
+            self._activity_sum[Tier.SLOW] += float(sums[int(Tier.SLOW) + 1])
+        self._activity_gen += 1
+        if self.debug_accounting:
+            self.check_accounting()
 
     def _decay_activity(self, window: int) -> None:
         steps = window - self._last_decay_window
         if steps > 0:
-            self.activity *= self.activity_decay**steps
+            factor = self.activity_decay**steps
+            self.activity *= factor
+            self._activity_sum[Tier.FAST] *= factor
+            self._activity_sum[Tier.SLOW] *= factor
             self._last_decay_window = window
+            self._activity_gen += 1
 
     def mean_activity(self, tier: Tier) -> float:
-        """Average access intensity of the tier's resident pages."""
+        """Average access intensity of the tier's resident pages.
+
+        Computed over the cached resident array with the same ``np.mean``
+        reduction as the original full-scan version (so thresholds built
+        from it stay bit-identical), then memoised until either the
+        placement or the activity state changes.
+        """
+        key = (self._placement_gen, self._activity_gen)
+        cached = self._mean_cache.get(tier)
+        if cached is not None and cached[0] == key:
+            return cached[1]
         resident = self.pages_in_tier(tier)
-        if resident.size == 0:
-            return 0.0
-        return float(self.activity[resident].mean())
+        value = float(self.activity[resident].mean()) if resident.size else 0.0
+        self._mean_cache[tier] = (key, value)
+        return value
 
     # -- migration primitives -------------------------------------------------
 
@@ -171,8 +269,14 @@ class TieredMemory:
             self.placement[movable] = int(dst)
             self.used[src] -= movable.size
             self.used[dst] += movable.size
+            moved_activity = float(self.activity[movable].sum())
+            self._activity_sum[src] -= moved_activity
+            self._activity_sum[dst] += moved_activity
+            self._placement_gen += 1
             self._arrival_counter += 1
             self.arrival[movable] = self._arrival_counter
+            if self.debug_accounting:
+                self.check_accounting()
         return movable
 
     def lru_victims(
@@ -201,7 +305,13 @@ class TieredMemory:
         if tier == Tier.SLOW:
             resident = resident[~self._pinned[resident]]
         if protect is not None and protect.size:
-            resident = resident[~np.isin(resident, protect)]
+            # Membership test through a reusable boolean scratch mask:
+            # O(resident + protect) instead of np.isin's sort/search.
+            protect = np.asarray(protect, dtype=np.int64)
+            scratch = self._protect_scratch
+            scratch[protect] = True
+            resident = resident[~scratch[resident]]
+            scratch[protect] = False
         if max_activity is not None:
             resident = resident[self.activity[resident] <= max_activity]
         if resident.size == 0:
@@ -224,3 +334,31 @@ class TieredMemory:
 
     def pinned_count(self) -> int:
         return int(self._pinned.sum())
+
+    # -- debug cross-checks ----------------------------------------------------
+
+    def check_accounting(self) -> None:
+        """Validate the incremental accounting against full scans.
+
+        Recomputes per-tier residency and activity aggregates from the
+        ``placement``/``activity`` arrays and raises
+        :class:`AccountingError` on any divergence.  Runs after every
+        mutation when ``debug_accounting`` is set (or the
+        ``REPRO_DEBUG_ACCOUNTING`` environment variable is non-empty).
+        """
+        for tier in (Tier.FAST, Tier.SLOW):
+            scan = np.flatnonzero(self.placement == int(tier)).astype(np.int64)
+            if self.used[tier] != scan.size:
+                raise AccountingError(
+                    f"used[{tier.name}]={self.used[tier]} but scan finds {scan.size}"
+                )
+            cached = self._resident_cache.get(tier)
+            if cached is not None and cached[0] == self._placement_gen:
+                if not np.array_equal(cached[1], scan):
+                    raise AccountingError(f"resident cache for {tier.name} is stale")
+            true_sum = float(self.activity[scan].sum())
+            if not np.isclose(self._activity_sum[tier], true_sum, rtol=1e-9, atol=1e-6):
+                raise AccountingError(
+                    f"activity_sum[{tier.name}]={self._activity_sum[tier]!r} "
+                    f"but scan sums to {true_sum!r}"
+                )

@@ -1,0 +1,41 @@
+"""repro.perf: simulator-throughput measurement and regression gating.
+
+See :mod:`repro.perf.harness` for the suite definition and the
+comparison semantics; ``python -m repro perf`` is the CLI entry point.
+"""
+
+from repro.perf.harness import (
+    DEFAULT_BASELINE_PATH,
+    DEFAULT_REPORT_PATH,
+    DEFAULT_THRESHOLD,
+    PERF_SCHEMA,
+    PerfScenario,
+    QUICK_NAMES,
+    SUITE,
+    calibration_score,
+    compare,
+    load_report,
+    run_scenario,
+    run_suite,
+    scenarios,
+    span_rows,
+    write_report,
+)
+
+__all__ = [
+    "DEFAULT_BASELINE_PATH",
+    "DEFAULT_REPORT_PATH",
+    "DEFAULT_THRESHOLD",
+    "PERF_SCHEMA",
+    "PerfScenario",
+    "QUICK_NAMES",
+    "SUITE",
+    "calibration_score",
+    "compare",
+    "load_report",
+    "run_scenario",
+    "run_suite",
+    "scenarios",
+    "span_rows",
+    "write_report",
+]

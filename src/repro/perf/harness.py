@@ -1,0 +1,283 @@
+"""Simulator-throughput regression harness (``python -m repro perf``).
+
+Every paper figure is a sweep of hundreds of ``Machine.run()`` calls, so
+simulator throughput is a first-class deliverable (the Mess framework,
+arXiv:2405.10170, even reports it as a headline metric).  This harness
+pins it down:
+
+* a fixed suite of macro scenarios -- the three largest workloads
+  (bc-kron, silo, gpt-2) under PACT, Memtis, and NoTier at the paper's
+  1:4 ratio -- measured in **windows per second** (best of N repeats,
+  observability off: the configuration the sweeps actually run in),
+* one additional *profiled* repeat per scenario for a per-span wall-time
+  breakdown through the existing :class:`~repro.obs.SpanProfiler`,
+* a calibration microbenchmark (fixed numpy kernel) so throughput can
+  be compared across machines of different speeds: regressions are
+  judged on calibration-normalised ratios,
+* a bit-identity guard: each scenario's ``runtime_cycles`` is recorded
+  and must match the committed baseline exactly -- an optimisation that
+  changes simulated results is a bug, not a speedup.
+
+The committed baseline lives at ``benchmarks/perf_baseline.json``;
+fresh reports are written to ``benchmarks/out/BENCH_perf.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines import make_policy
+from repro.obs import Observability
+from repro.sim.config import MachineConfig
+from repro.sim.machine import Machine
+from repro.workloads import make_workload
+
+#: Report format version (bump when the JSON layout changes).
+PERF_SCHEMA = 1
+
+#: Default committed baseline and report locations.
+DEFAULT_BASELINE_PATH = os.path.join("benchmarks", "perf_baseline.json")
+DEFAULT_REPORT_PATH = os.path.join("benchmarks", "out", "BENCH_perf.json")
+
+#: Regression threshold: fail when calibration-normalised throughput
+#: drops by more than this fraction vs the baseline.
+DEFAULT_THRESHOLD = 0.3
+
+
+@dataclass(frozen=True)
+class PerfScenario:
+    """One timed macro run: workload x policy at fixed work and seed."""
+
+    name: str
+    workload: str
+    policy: str
+    total_misses: int = 24_000_000
+    ratio: str = "1:4"
+    seed: int = 0
+
+    def build(self) -> Machine:
+        return Machine(
+            workload=make_workload(self.workload, total_misses=self.total_misses),
+            policy=make_policy(self.policy),
+            config=MachineConfig(),
+            ratio=self.ratio,
+            seed=self.seed,
+        )
+
+
+SUITE: "tuple[PerfScenario, ...]" = tuple(
+    PerfScenario(name=f"{label}-{policy.lower()}", workload=workload, policy=policy)
+    for label, workload in (("graph", "bc-kron"), ("silo", "silo"), ("gpt2", "gpt-2"))
+    for policy in ("PACT", "Memtis", "NoTier")
+)
+
+#: ``--quick`` subset: same scenario parameters, graph workload only
+#: (the acceptance-critical PACT case plus both baselines for context).
+QUICK_NAMES = ("graph-pact", "graph-memtis", "graph-notier")
+
+
+def scenarios(quick: bool = False) -> "tuple[PerfScenario, ...]":
+    if not quick:
+        return SUITE
+    return tuple(s for s in SUITE if s.name in QUICK_NAMES)
+
+
+def calibration_score(repeats: int = 3) -> float:
+    """Machine-speed yardstick: fixed numpy kernel iterations per second.
+
+    The kernel mixes the primitives the hot loop leans on (sort, unique,
+    bincount, reductions) over fixed pseudo-random data, so the score
+    moves with the host's effective numpy throughput.  Normalising
+    windows/sec by this score makes baselines comparable across hosts
+    (and across background load on the same host).
+    """
+    rng = np.random.default_rng(12345)
+    pages = rng.integers(0, 1 << 15, size=200_000)
+    values = rng.random(200_000)
+    best = 0.0
+    for _ in range(max(repeats, 1)):
+        t0 = time.perf_counter()
+        for _ in range(5):
+            uniq, inverse = np.unique(pages, return_inverse=True)
+            sums = np.bincount(inverse, weights=values, minlength=uniq.size)
+            order = np.argsort(values)
+            _ = values[order[-64:]].sum() + sums.sum()
+        dt = time.perf_counter() - t0
+        best = max(best, 5.0 / dt)
+    return best
+
+
+def run_scenario(
+    scenario: PerfScenario, repeats: int = 2, profile: bool = True
+) -> Dict[str, object]:
+    """Time one scenario; best-of-``repeats`` plus a profiled extra run.
+
+    The timed repeats run with observability off -- the configuration
+    experiment sweeps use -- so the headline windows/sec reflects real
+    sweep throughput.  The span breakdown comes from one additional run
+    with the profiler enabled (observability never changes results).
+    """
+    best_wps = 0.0
+    best_wall = float("inf")
+    windows = 0
+    runtime_cycles = 0.0
+    for _ in range(max(repeats, 1)):
+        machine = scenario.build()
+        t0 = time.perf_counter()
+        result = machine.run()
+        wall = time.perf_counter() - t0
+        windows = result.windows
+        runtime_cycles = result.runtime_cycles
+        if result.windows / wall > best_wps:
+            best_wps = result.windows / wall
+            best_wall = wall
+    record: Dict[str, object] = {
+        "workload": scenario.workload,
+        "policy": scenario.policy,
+        "total_misses": scenario.total_misses,
+        "ratio": scenario.ratio,
+        "seed": scenario.seed,
+        "windows": windows,
+        "windows_per_sec": best_wps,
+        "wall_seconds": best_wall,
+        "runtime_cycles": runtime_cycles,
+    }
+    if profile:
+        obs = Observability(trace=False)
+        machine = Machine(
+            workload=make_workload(scenario.workload, total_misses=scenario.total_misses),
+            policy=make_policy(scenario.policy),
+            config=MachineConfig(),
+            ratio=scenario.ratio,
+            seed=scenario.seed,
+            obs=obs,
+        )
+        profiled = machine.run()
+        if profiled.runtime_cycles != runtime_cycles:
+            raise AssertionError(
+                f"{scenario.name}: observed run diverged from timed run "
+                f"({profiled.runtime_cycles!r} != {runtime_cycles!r})"
+            )
+        record["spans"] = {
+            label: {"seconds": t["seconds"], "calls": t["calls"]}
+            for label, t in obs.timings().items()
+        }
+    return record
+
+
+def run_suite(
+    quick: bool = False,
+    repeats: int = 2,
+    profile: bool = True,
+    progress=None,
+) -> Dict[str, object]:
+    """Run the (quick or full) suite and return the report document."""
+    report: Dict[str, object] = {
+        "schema": PERF_SCHEMA,
+        "quick": quick,
+        "repeats": repeats,
+        "calibration_ops_per_sec": calibration_score(),
+        "scenarios": {},
+    }
+    for scenario in scenarios(quick):
+        record = run_scenario(scenario, repeats=repeats, profile=profile)
+        report["scenarios"][scenario.name] = record
+        if progress is not None:
+            progress(scenario.name, record)
+    return report
+
+
+def compare(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[str]:
+    """Problems in ``current`` vs ``baseline``; empty list = pass.
+
+    Two classes of failure:
+
+    * **bit-identity**: a scenario's ``runtime_cycles`` differs from the
+      baseline's (JSON round-trips IEEE doubles exactly, so equality is
+      the right test) -- simulated results must not drift;
+    * **regression**: calibration-normalised windows/sec dropped by more
+      than ``threshold`` (fraction) vs the baseline.
+
+    Scenarios missing from either side are skipped (``--quick`` runs a
+    subset against the full committed baseline).
+    """
+    problems: List[str] = []
+    cur_cal = float(current.get("calibration_ops_per_sec", 0.0))
+    base_cal = float(baseline.get("calibration_ops_per_sec", 0.0))
+    if cur_cal <= 0.0 or base_cal <= 0.0:
+        problems.append("calibration score missing from report or baseline")
+        return problems
+    base_scenarios = baseline.get("scenarios", {})
+    for name, cur in current.get("scenarios", {}).items():
+        base = base_scenarios.get(name)
+        if base is None:
+            continue
+        if cur["runtime_cycles"] != base["runtime_cycles"]:
+            problems.append(
+                f"{name}: runtime_cycles {cur['runtime_cycles']!r} != "
+                f"baseline {base['runtime_cycles']!r} (results must be bit-identical)"
+            )
+        cur_norm = float(cur["windows_per_sec"]) / cur_cal
+        base_norm = float(base["windows_per_sec"]) / base_cal
+        if base_norm > 0.0 and cur_norm < (1.0 - threshold) * base_norm:
+            problems.append(
+                f"{name}: normalised throughput {cur_norm / base_norm:.2f}x of baseline "
+                f"(threshold {1.0 - threshold:.2f}x): "
+                f"{cur['windows_per_sec']:.1f} win/s vs {base['windows_per_sec']:.1f} win/s"
+            )
+    return problems
+
+
+def load_report(path: str) -> Optional[Dict[str, object]]:
+    if not os.path.exists(path):
+        return None
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def write_report(report: Dict[str, object], path: str) -> None:
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def span_rows(record: Dict[str, object]) -> List[List[str]]:
+    """Per-span table rows (label, total wall ms, calls) for one scenario."""
+    spans = record.get("spans") or {}
+    rows = []
+    for label in sorted(spans):
+        t = spans[label]
+        rows.append([label, f"{t['seconds'] * 1e3:.1f} ms", f"{int(t['calls'])}"])
+    return rows
+
+
+__all__ = [
+    "PERF_SCHEMA",
+    "DEFAULT_BASELINE_PATH",
+    "DEFAULT_REPORT_PATH",
+    "DEFAULT_THRESHOLD",
+    "PerfScenario",
+    "SUITE",
+    "QUICK_NAMES",
+    "scenarios",
+    "calibration_score",
+    "run_scenario",
+    "run_suite",
+    "compare",
+    "load_report",
+    "write_report",
+    "span_rows",
+]

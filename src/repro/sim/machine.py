@@ -19,7 +19,7 @@ the paper's slowdown metric compares it to an ideal all-DRAM run.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -142,7 +142,17 @@ class Machine:
         if not traffic.groups:
             self._step_empty_window()
             return
-        touched = traffic.touched_pages()
+        # Concatenate the window's traffic once and reuse it for both
+        # the touched-page set (first-touch allocation, the policy's
+        # Observation) and the LRU/activity touch below --
+        # ``traffic.touched_pages()`` would redo the same concatenation.
+        groups = traffic.groups
+        if len(groups) == 1:
+            all_pages, all_counts = groups[0].pages, groups[0].counts
+        else:
+            all_pages = np.concatenate([g.pages for g in groups])
+            all_counts = np.concatenate([g.counts for g in groups])
+        touched = np.unique(all_pages[all_counts > 0])
         self.memory.allocate_first_touch(touched, prefer=self.policy.alloc_prefer)
 
         shares = self.stall_model.split_groups(traffic.groups, self.memory.placement)
@@ -169,10 +179,9 @@ class Machine:
         self._pending_overhead_cycles += pebs_batch.overhead_cycles
         self.cha.advance(outcome.shares)
         self.perf.advance(outcome)
-        if traffic.groups:
-            all_pages = np.concatenate([g.pages for g in traffic.groups])
-            all_counts = np.concatenate([g.counts for g in traffic.groups])
-            self.memory.touch(all_pages, self._window, counts=all_counts)
+        # Count-zero entries are deliberately kept: they stamp
+        # ``last_touch`` (as they always have) while adding no activity.
+        self.memory.touch(all_pages, self._window, counts=all_counts)
 
         obs = self._observe(pebs_batch, touched, outcome.duration_cycles)
         with self.obs.profile("policy_observe"):

@@ -1,0 +1,105 @@
+"""Golden ``RunResult`` digests: the hot-path optimisations must be exact.
+
+The expected hashes below were recorded by running the *pre-optimisation*
+simulator (commit 0bc9088, before the incremental tier accounting, top-k
+candidate selection, and PEBS/traffic vectorisation) over a small
+(policy x workload x THP x contender) matrix.  Every future run must
+reproduce them bit-for-bit: same seeds in, same ``runtime_cycles``,
+placements, migration counts, and serialised result out.  If an
+intentional behaviour change breaks these, re-record the digests AND
+bump ``CACHE_VERSION`` -- the two must move together, because cached
+results from an older simulator would otherwise be served as current.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import make_policy
+from repro.exp.cache import CACHE_VERSION, canonical, content_hash, result_to_dict
+from repro.exp.spec import PolicySpec, RunRequest, WorkloadSpec
+from repro.mem.page import Tier
+from repro.sim.config import MachineConfig
+from repro.sim.engine import run_policy
+from repro.workloads import make_workload
+from repro.workloads.mlc import MlcContender
+
+#: (policy, workload, thp, contender_threads) -> pre-optimisation digest.
+GOLDEN_DIGESTS = {
+    ("PACT", "bc-kron", False, 0): "c108a8b943090b51cee45c2d340a71d3acc1b3df7eb615cdabc39cab0771352b",
+    ("PACT", "bc-kron", True, 0): "a7b803d506341ebbb28500766097f4f0f494e9a25b77b613a13b92f728d67f17",
+    ("PACT", "bc-kron", False, 2): "6ef9f8e31c7561822c0cc6abfe859d0939841ebd50f81589ca733500996646eb",
+    ("PACT", "gups", False, 0): "e78d25afa4061eddcff7afdb47dff1954af3afbeff3db68cbc680d522126c1f4",
+    ("PACT", "gups", True, 0): "40737ae6bca2f0cc4058d509b832d469c662f51462fbf93841fe76c8528f087c",
+    ("PACT", "gups", False, 2): "58f738280c7e380aa25cd15b8782252ab70d94c942ecdda5efb9533f3e8d4bfe",
+    ("Memtis", "bc-kron", False, 0): "d53fe0f5c274d12ce58bfafbc835053f02afbf3814b01fae2be33943185731b1",
+    ("Memtis", "bc-kron", True, 0): "ff9249e1c9191d2dc7ae54d17f4116f710db67b841c6efc0d292c2e191f34a11",
+    ("Memtis", "bc-kron", False, 2): "e3e96c409eed213b484283b8f09c1284f123befa57753f5e8c17337403f77dc0",
+    ("Memtis", "gups", False, 0): "02bd6aadf537bc4ac6108ce53f426f1b6d4efdefc38616303af99340fa4c6c02",
+    ("Memtis", "gups", True, 0): "02bd6aadf537bc4ac6108ce53f426f1b6d4efdefc38616303af99340fa4c6c02",
+    ("Memtis", "gups", False, 2): "275de98097addb48a446436fd81bba1d25fd36856b9e569bb3da6f3c6a34a984",
+    ("NoTier", "bc-kron", False, 0): "92f9b045d0fc858b38ae16a1c14dfc8314c82bf0ae806f10b3ac1aea35a250d7",
+    ("NoTier", "bc-kron", True, 0): "92f9b045d0fc858b38ae16a1c14dfc8314c82bf0ae806f10b3ac1aea35a250d7",
+    ("NoTier", "bc-kron", False, 2): "70a73f084d6bb19fb9384bd69bf12bffa5370898b4b61479e0b10c24ef31206c",
+    ("NoTier", "gups", False, 0): "8c351e95f6c5f2f16f6ffdaf99cb1398e3d5987d5910a8b8b342b5fb0ae499a2",
+    ("NoTier", "gups", True, 0): "8c351e95f6c5f2f16f6ffdaf99cb1398e3d5987d5910a8b8b342b5fb0ae499a2",
+    ("NoTier", "gups", False, 2): "8409211002a91ba06c6f4dd5157946d432030e1f050b90ac8e5e05ae6915bfe3",
+}
+
+#: Two pinned cache keys: request fingerprints are input-derived, so
+#: they must survive performance work untouched (a key change silently
+#: orphans every cached result).
+GOLDEN_CACHE_KEYS = [
+    (
+        dict(workload="bc-kron", policy="PACT", ratio="1:4", seed=0, thp=False),
+        "059342919c9350773556f3bf2a18fc2bc799e5fc9aab8211e301a8161b736e84",
+    ),
+    (
+        dict(workload="gups", policy="Memtis", ratio="1:2", seed=1, thp=True),
+        "128186336c41ce5c47acc188fb5838da14a9cf4da776a041b87cbec91486db60",
+    ),
+]
+
+
+def result_digest(policy, workload, thp, contender_threads):
+    config = MachineConfig(thp=thp)
+    contender = (
+        MlcContender(threads=contender_threads, tier=Tier.SLOW)
+        if contender_threads
+        else None
+    )
+    result = run_policy(
+        make_workload(workload, total_misses=2_000_000),
+        make_policy(policy),
+        ratio="1:4",
+        config=config,
+        seed=0,
+        contender=contender,
+    )
+    return content_hash(canonical(result_to_dict(result)))
+
+
+class TestGoldenDigests:
+    @pytest.mark.parametrize(
+        "policy,workload,thp,contender", sorted(GOLDEN_DIGESTS), ids=lambda v: str(v)
+    )
+    def test_run_result_bit_identical(self, policy, workload, thp, contender):
+        expected = GOLDEN_DIGESTS[(policy, workload, thp, contender)]
+        assert result_digest(policy, workload, thp, contender) == expected
+
+    def test_cache_version_pinned(self):
+        # The digests above were recorded against CACHE_VERSION 2; a
+        # version bump must come with re-recorded digests (and vice
+        # versa: identical results need no bump).
+        assert CACHE_VERSION == 2
+
+    @pytest.mark.parametrize("params,expected", GOLDEN_CACHE_KEYS, ids=["pact", "memtis"])
+    def test_cache_keys_stable(self, params, expected):
+        request = RunRequest(
+            workload=WorkloadSpec.registry(params["workload"], total_misses=2_000_000),
+            policy=PolicySpec(name=params["policy"]),
+            ratio=params["ratio"],
+            seed=params["seed"],
+            config=MachineConfig(thp=params["thp"]),
+        )
+        assert content_hash(request.fingerprint()) == expected

@@ -170,3 +170,111 @@ class TestPerfCounters:
         truth = out.tier_loads[Tier.SLOW].misses
         assert delta.llc_misses[Tier.SLOW] == pytest.approx(truth, rel=0.05)
         assert delta.llc_misses[Tier.SLOW] != truth
+
+
+def _legacy_pebs_sample(rng, shares, tiers, rate, cycles_per_record, loads_only, report_latency):
+    """The pre-vectorisation per-share loop, kept verbatim as the oracle."""
+    all_pages = []
+    all_records = []
+    all_latency = []
+    for share in shares:
+        if share.tier not in tiers:
+            continue
+        counts = share.counts
+        if loads_only:
+            counts = rng.binomial(counts, share.load_fraction)
+        records = rng.binomial(counts, 1.0 / rate)
+        hit = records > 0
+        if hit.any():
+            all_pages.append(share.pages[hit])
+            all_records.append(records[hit])
+            if report_latency:
+                all_latency.append(np.full(int(hit.sum()), share.unit_stall_cycles))
+    if not all_pages:
+        return PebsBatch.empty(rate)
+    pages = np.concatenate(all_pages)
+    records = np.concatenate(all_records)
+    uniq, inverse = np.unique(pages, return_inverse=True)
+    merged = np.zeros(uniq.size, dtype=np.int64)
+    np.add.at(merged, inverse, records)
+    latencies = None
+    if report_latency:
+        lat = np.concatenate(all_latency)
+        weighted = np.zeros(uniq.size, dtype=float)
+        np.add.at(weighted, inverse, lat * records)
+        latencies = weighted / np.maximum(merged, 1)
+    total = int(merged.sum())
+    return PebsBatch(
+        pages=uniq, counts=merged, rate=rate,
+        overhead_cycles=total * cycles_per_record, latencies=latencies,
+    )
+
+
+class TestPebsVectorisedEquivalence:
+    """The batched merge must replay the legacy loop's exact draws.
+
+    The binomial draws stay sequenced per share (the record draw thins
+    the load draw's output), so with equal seeds the two implementations
+    must consume the same RNG stream and emit identical batches --
+    pages, counts, latencies, overhead, and post-call generator state.
+    """
+
+    def _random_shares(self, rng, n_shares, footprint=4096):
+        shares = []
+        for i in range(n_shares):
+            size = int(rng.integers(1, 200))
+            pages = rng.choice(footprint, size=size, replace=False)
+            counts = rng.integers(0, 2000, size=size)
+            shares.append(
+                GroupTierShare(
+                    group_index=i,
+                    tier=Tier.SLOW if rng.random() < 0.7 else Tier.FAST,
+                    pages=np.sort(pages),
+                    counts=counts,
+                    mlp=4.0,
+                    load_fraction=float(rng.uniform(0.1, 1.0)),
+                    unit_stall_cycles=float(rng.uniform(50.0, 400.0)),
+                )
+            )
+        return shares
+
+    @pytest.mark.parametrize("report_latency", [False, True])
+    @pytest.mark.parametrize("loads_only", [False, True])
+    def test_distribution_identical_to_loop(self, report_latency, loads_only):
+        meta_rng = np.random.default_rng(99)
+        for trial in range(20):
+            shares = self._random_shares(meta_rng, n_shares=int(meta_rng.integers(0, 6)))
+            tiers = (Tier.SLOW,) if trial % 2 == 0 else (Tier.SLOW, Tier.FAST)
+            sampler = PebsSampler(
+                rate=7,
+                rng=np.random.default_rng(trial),
+                loads_only=loads_only,
+                report_latency=report_latency,
+            )
+            got = sampler.sample(shares, tiers=tiers)
+            oracle_rng = np.random.default_rng(trial)
+            want = _legacy_pebs_sample(
+                oracle_rng, shares, tiers, rate=7,
+                cycles_per_record=sampler.cycles_per_record,
+                loads_only=loads_only, report_latency=report_latency,
+            )
+            assert np.array_equal(got.pages, want.pages)
+            assert np.array_equal(got.counts, want.counts)
+            assert got.counts.dtype == np.int64
+            assert got.overhead_cycles == want.overhead_cycles
+            if report_latency and want.latencies is not None:
+                assert np.array_equal(got.latencies, want.latencies)
+            else:
+                assert got.latencies is None and want.latencies is None
+            assert np.array_equal(got.estimated_accesses(), want.estimated_accesses())
+            # Same stream position afterwards: the next draws agree.
+            assert sampler._rng.integers(0, 1 << 62) == oracle_rng.integers(0, 1 << 62)
+
+    def test_all_zero_counts_yield_empty_batch(self):
+        share = GroupTierShare(
+            group_index=0, tier=Tier.SLOW, pages=np.arange(10),
+            counts=np.zeros(10, dtype=np.int64), mlp=1.0,
+        )
+        batch = PebsSampler(rate=4, rng=np.random.default_rng(0)).sample([share])
+        assert batch.pages.size == 0
+        assert batch.overhead_cycles == 0.0

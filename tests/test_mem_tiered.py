@@ -180,3 +180,114 @@ def test_random_moves_preserve_invariants(ops):
     assert_placement_consistent(memory)
     # Every page remains allocated exactly once.
     assert (memory.placement != UNALLOCATED).all()
+
+
+class TestIncrementalAccounting:
+    """Generation-cached queries and O(delta) aggregates stay exact."""
+
+    def make_debug_memory(self, footprint=256, fast=128, slow=256):
+        return TieredMemory(
+            footprint, fast, slow, DRAM_SPEC, CXL_SPEC, debug_accounting=True
+        )
+
+    def test_cross_check_passes_through_mixed_mutations(self):
+        memory = self.make_debug_memory()
+        rng = np.random.default_rng(0)
+        memory.allocate_first_touch(rng.permutation(200))
+        for window in range(1, 30):
+            pages = rng.integers(0, 256, size=40)
+            counts = rng.integers(0, 50, size=40)
+            memory.touch(pages, window, counts=counts)
+            memory.allocate_first_touch(rng.integers(0, 256, size=8))
+            if window % 3 == 0:
+                memory.move(rng.integers(0, 256, size=16), Tier.FAST)
+            else:
+                memory.move(rng.integers(0, 256, size=16), Tier.SLOW)
+            # check_accounting ran after every mutation (debug mode);
+            # also assert the public aggregates against full scans here.
+            for tier in (Tier.FAST, Tier.SLOW):
+                scan = np.flatnonzero(memory.placement == int(tier))
+                assert np.array_equal(memory.pages_in_tier(tier), scan)
+                expected_mean = (
+                    float(memory.activity[scan].mean()) if scan.size else 0.0
+                )
+                assert memory.mean_activity(tier) == expected_mean
+                assert memory.activity_sum(tier) == pytest.approx(
+                    float(memory.activity[scan].sum()), rel=1e-9, abs=1e-6
+                )
+
+    def test_pages_in_tier_cached_until_placement_changes(self):
+        memory = make_memory()
+        memory.allocate_first_touch(np.arange(200))
+        first = memory.pages_in_tier(Tier.FAST)
+        assert memory.pages_in_tier(Tier.FAST) is first  # served from cache
+        memory.move(np.array([0, 1]), Tier.SLOW)
+        second = memory.pages_in_tier(Tier.FAST)
+        assert second is not first
+        assert 0 not in second and 1 not in second
+
+    def test_touch_does_not_invalidate_residency_cache(self):
+        memory = make_memory()
+        memory.allocate_first_touch(np.arange(200))
+        first = memory.pages_in_tier(Tier.SLOW)
+        memory.touch(np.array([150, 151]), window=1)
+        assert memory.pages_in_tier(Tier.SLOW) is first
+
+    def test_mean_activity_tracks_touch_and_decay(self):
+        memory = make_memory()
+        memory.allocate_first_touch(np.arange(128))  # all fast
+        memory.touch(np.arange(128), window=1)
+        assert memory.mean_activity(Tier.FAST) == pytest.approx(1.0)
+        memory.touch(np.array([0]), window=6)  # 5 windows of decay first
+        resident = memory.pages_in_tier(Tier.FAST)
+        assert memory.mean_activity(Tier.FAST) == float(
+            memory.activity[resident].mean()
+        )
+
+    def test_mean_activity_exact_after_migration(self):
+        memory = make_memory()
+        memory.allocate_first_touch(np.arange(200))
+        memory.touch(np.arange(200), window=1, counts=np.arange(200).astype(float))
+        before = memory.mean_activity(Tier.FAST)
+        memory.move(np.arange(0, 40), Tier.SLOW)
+        after = memory.mean_activity(Tier.FAST)
+        assert after != before
+        resident = memory.pages_in_tier(Tier.FAST)
+        assert after == float(memory.activity[resident].mean())
+
+    def test_unallocated_touches_fold_in_on_allocation(self):
+        memory = self.make_debug_memory()
+        # Touch before allocation: activity accrues but belongs to no tier.
+        memory.touch(np.array([5, 6]), window=1, counts=np.array([3.0, 4.0]))
+        assert memory.activity_sum(Tier.FAST) == 0.0
+        memory.allocate_first_touch(np.array([5, 6]))
+        assert memory.activity_sum(Tier.FAST) == pytest.approx(7.0)
+
+    def test_accounting_error_surfaces_divergence(self):
+        from repro.mem.tiered import AccountingError
+
+        memory = self.make_debug_memory()
+        memory.allocate_first_touch(np.arange(50))
+        memory._activity_sum[Tier.FAST] += 123.0  # corrupt on purpose
+        with pytest.raises(AccountingError):
+            memory.check_accounting()
+
+    def test_lru_victims_mask_protection_matches_isin(self):
+        rng = np.random.default_rng(7)
+        for trial in range(10):
+            memory = make_memory(footprint=512, fast=256, slow=512)
+            memory.allocate_first_touch(rng.permutation(400))
+            memory.touch(
+                rng.integers(0, 400, 80), window=1,
+                counts=rng.integers(0, 9, 80).astype(float),
+            )
+            protect = rng.choice(400, size=30, replace=False)
+            got = memory.lru_victims(Tier.FAST, 40, protect=protect)
+            resident = np.flatnonzero(memory.placement == int(Tier.FAST))
+            legacy = resident[~np.isin(resident, protect)]
+            keys = memory.activity[legacy]
+            part = np.argpartition(keys, 40)[:40]
+            expected = legacy[part[np.argsort(keys[part], kind="stable")]]
+            assert np.array_equal(np.sort(got), np.sort(expected))
+            # Scratch mask is cleaned up for the next call.
+            assert not memory._protect_scratch.any()

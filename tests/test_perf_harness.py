@@ -1,0 +1,133 @@
+"""repro.perf: suite shape, measurement records, and regression gating."""
+
+import copy
+import json
+
+import pytest
+
+from repro.perf import harness
+
+
+class TestSuiteDefinition:
+    def test_full_suite_covers_three_workloads_three_policies(self):
+        suite = harness.scenarios(quick=False)
+        assert len(suite) == 9
+        assert {s.workload for s in suite} == {"bc-kron", "silo", "gpt-2"}
+        assert {s.policy for s in suite} == {"PACT", "Memtis", "NoTier"}
+        assert len({s.name for s in suite}) == 9
+
+    def test_quick_subset_shares_parameters_with_full_suite(self):
+        full = {s.name: s for s in harness.scenarios(quick=False)}
+        quick = harness.scenarios(quick=True)
+        assert tuple(s.name for s in quick) == harness.QUICK_NAMES
+        for s in quick:
+            assert s == full[s.name]  # identical params, not a cheap variant
+
+
+def tiny_scenario():
+    return harness.PerfScenario(
+        name="tiny", workload="gups", policy="NoTier", total_misses=400_000
+    )
+
+
+class TestMeasurement:
+    def test_run_scenario_record_fields(self):
+        record = harness.run_scenario(tiny_scenario(), repeats=1, profile=True)
+        assert record["windows"] > 0
+        assert record["windows_per_sec"] > 0.0
+        assert record["runtime_cycles"] > 0.0
+        assert "stall_solve" in record["spans"]
+
+    def test_run_scenario_without_profile_skips_spans(self):
+        record = harness.run_scenario(tiny_scenario(), repeats=1, profile=False)
+        assert "spans" not in record
+
+    def test_timed_and_profiled_runs_agree_on_results(self):
+        # run_scenario raises if the profiled repeat diverges; two calls
+        # must also agree with each other (the simulator is deterministic).
+        a = harness.run_scenario(tiny_scenario(), repeats=1, profile=False)
+        b = harness.run_scenario(tiny_scenario(), repeats=1, profile=True)
+        assert a["runtime_cycles"] == b["runtime_cycles"]
+        assert a["windows"] == b["windows"]
+
+    def test_calibration_score_positive(self):
+        assert harness.calibration_score(repeats=1) > 0.0
+
+
+def fake_report(wps=100.0, calibration=50.0, cycles=1.25e9):
+    return {
+        "schema": harness.PERF_SCHEMA,
+        "calibration_ops_per_sec": calibration,
+        "scenarios": {
+            "graph-pact": {
+                "windows_per_sec": wps,
+                "runtime_cycles": cycles,
+                "windows": 96,
+            }
+        },
+    }
+
+
+class TestCompare:
+    def test_identical_reports_pass(self):
+        report = fake_report()
+        assert harness.compare(report, copy.deepcopy(report)) == []
+
+    def test_regression_beyond_threshold_fails(self):
+        problems = harness.compare(fake_report(wps=60.0), fake_report(wps=100.0))
+        assert len(problems) == 1
+        assert "graph-pact" in problems[0]
+
+    def test_regression_within_threshold_passes(self):
+        assert harness.compare(fake_report(wps=80.0), fake_report(wps=100.0)) == []
+
+    def test_calibration_normalisation_absorbs_slow_host(self):
+        # Half the throughput on a half-speed machine is not a regression.
+        current = fake_report(wps=50.0, calibration=25.0)
+        assert harness.compare(current, fake_report()) == []
+
+    def test_bit_identity_mismatch_always_fails(self):
+        current = fake_report(cycles=1.25e9 + 1.0)
+        problems = harness.compare(current, fake_report(), threshold=0.99)
+        assert any("bit-identical" in p for p in problems)
+
+    def test_scenarios_missing_from_baseline_are_skipped(self):
+        current = fake_report()
+        current["scenarios"]["new-scenario"] = {
+            "windows_per_sec": 1.0,
+            "runtime_cycles": 1.0,
+        }
+        assert harness.compare(current, fake_report()) == []
+
+    def test_missing_calibration_reported(self):
+        report = fake_report()
+        broken = {k: v for k, v in report.items() if k != "calibration_ops_per_sec"}
+        assert harness.compare(broken, report) != []
+
+
+class TestReportIo:
+    def test_write_then_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "out" / "BENCH_perf.json")
+        report = fake_report()
+        harness.write_report(report, path)
+        assert harness.load_report(path) == report
+        # Deterministic serialisation: sorted keys, trailing newline.
+        text = (tmp_path / "out" / "BENCH_perf.json").read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == report
+
+    def test_load_missing_returns_none(self, tmp_path):
+        assert harness.load_report(str(tmp_path / "nope.json")) is None
+
+    def test_span_rows_formatting(self):
+        record = {"spans": {"stall_solve": {"seconds": 0.0123, "calls": 96}}}
+        rows = harness.span_rows(record)
+        assert rows == [["stall_solve", "12.3 ms", "96"]]
+
+    def test_committed_baseline_matches_suite(self):
+        baseline = harness.load_report(harness.DEFAULT_BASELINE_PATH)
+        if baseline is None:
+            pytest.skip("no committed baseline in this checkout")
+        suite_names = {s.name for s in harness.scenarios(quick=False)}
+        assert set(baseline["scenarios"]) == suite_names
+        assert baseline["calibration_ops_per_sec"] > 0.0
