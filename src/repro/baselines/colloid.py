@@ -24,6 +24,7 @@ class ColloidPolicy(TieringPolicy):
     name = "Colloid"
     synchronous_migration = True  # built on NUMA hint-fault machinery
     needs_pebs = True
+    needs_touched_pages = False
 
     def __init__(
         self,

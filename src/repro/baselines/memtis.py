@@ -25,6 +25,7 @@ class MemtisPolicy(TieringPolicy):
     name = "Memtis"
     synchronous_migration = False  # kmigrated-style background thread
     needs_pebs = True
+    needs_touched_pages = False
     sample_fast_tier = True  # Memtis samples both tiers to split hot/cold
 
     def __init__(

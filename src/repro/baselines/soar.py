@@ -54,6 +54,7 @@ class SoarPolicy(TieringPolicy):
     name = "Soar"
     synchronous_migration = False
     needs_pebs = False  # nothing sampled during the measured run
+    needs_touched_pages = False
 
     def __init__(
         self,

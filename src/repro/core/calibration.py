@@ -42,6 +42,7 @@ class _CounterProbe(TieringPolicy):
     name = "probe"
     synchronous_migration = False
     needs_pebs = False
+    needs_touched_pages = False
 
     def __init__(self, tier: Tier):
         self.tier = tier

@@ -61,6 +61,9 @@ class PactPolicy(TieringPolicy):
 
     name = "PACT"
     synchronous_migration = False  # background migration thread (§4.6)
+    #: PACT's candidates come from PEBS/CHMU samples and LRU state, not
+    #: from the per-window touched-page sets.
+    needs_touched_pages = False
 
     def __init__(
         self,

@@ -5,8 +5,8 @@ full configuration, so results are bit-identical whether executed
 serially or across a :class:`ProcessPoolExecutor` (a property the test
 suite asserts).  The fork start method is preferred so factory-form
 workload specs defined in bench modules unpickle in workers; request
-lists that cannot pickle at all (lambda factories) quietly fall back to
-in-process execution.
+lists that cannot pickle at all (lambda factories) fall back to
+in-process execution with a :class:`RuntimeWarning` naming the offender.
 """
 
 from __future__ import annotations
@@ -14,6 +14,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from typing import List, Optional, Sequence
 
@@ -47,6 +48,16 @@ def _mp_context():
     return multiprocessing.get_context("fork" if "fork" in methods else None)
 
 
+def _first_unpicklable(requests: Sequence) -> Optional[object]:
+    """The first request that cannot cross a process boundary, if any."""
+    for request in requests:
+        try:
+            pickle.dumps(request)
+        except Exception:
+            return request
+    return None
+
+
 def execute_many(requests: Sequence, jobs: Optional[int] = None) -> List[RunResult]:
     """Execute requests, preserving order; parallel when ``jobs`` > 1."""
     jobs = resolve_jobs(jobs)
@@ -57,8 +68,22 @@ def execute_many(requests: Sequence, jobs: Optional[int] = None) -> List[RunResu
         pickle.dumps(requests)
     except Exception:
         # Lambda/closure factories cannot cross process boundaries.
+        offender = _first_unpicklable(requests)
+        label = getattr(offender, "display", None) or repr(offender)
+        warnings.warn(
+            f"execute_many: request {label!s} is not picklable "
+            f"(lambda/closure workload factory?); running all "
+            f"{len(requests)} requests serially in-process",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return [_run_one(r) for r in requests]
+    workers = min(jobs, len(requests))
+    # Without an explicit chunksize, pool.map dispatches one request per
+    # IPC round-trip; batching amortises pickling over large sweeps
+    # while still keeping every worker busy (4 waves per worker).
+    chunksize = max(1, len(requests) // (workers * 4))
     with ProcessPoolExecutor(
-        max_workers=min(jobs, len(requests)), mp_context=_mp_context()
+        max_workers=workers, mp_context=_mp_context()
     ) as pool:
-        return list(pool.map(_run_one, requests))
+        return list(pool.map(_run_one, requests, chunksize=chunksize))

@@ -7,9 +7,11 @@ from repro.hw.pebs import DEFAULT_PEBS_RATE, PebsBatch, PebsSampler
 from repro.hw.perf import PerfCounters, PerfDelta, PerfSnapshot
 from repro.hw.stall import (
     GroupTierShare,
+    ShareBatch,
     StallModel,
     TierLoad,
     WindowHardware,
+    split_groups_legacy,
 )
 
 __all__ = [
@@ -18,6 +20,8 @@ __all__ = [
     "ChmuSampler",
     "DEFAULT_PEBS_RATE",
     "GroupTierShare",
+    "ShareBatch",
+    "split_groups_legacy",
     "PebsBatch",
     "PebsSampler",
     "PerfCounters",

@@ -26,7 +26,7 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro.common.units import CACHE_LINE_SIZE
-from repro.hw.stall import GroupTierShare
+from repro.hw.stall import GroupTierShare, ShareBatch
 from repro.mem.page import Tier
 
 #: Default relative standard deviation of counter measurement noise.
@@ -64,11 +64,41 @@ class ChaTorCounters:
 
     def advance(self, shares: Sequence[GroupTierShare]) -> None:
         """Account one window's traffic into the cumulative counters."""
+        if isinstance(shares, ShareBatch):
+            self._advance_batch(shares)
+            return
         for share in shares:
             occ = share.misses * _share_latency(share)
             busy = occ / share.mlp
             self._occupancy[share.tier] += occ * self._jitter()
             self._busy[share.tier] += busy * self._jitter()
+
+    def _advance_batch(self, batch: ShareBatch) -> None:
+        """Columnar path: vectorised math and jitter draws, ordered sums.
+
+        The elementwise arithmetic and the noise draws are batched (one
+        ``normal`` call covers the per-share scalar draws: numpy's
+        generator consumes its stream identically either way, occ/busy
+        interleaved row-major).  The final accumulation stays a scalar
+        per-share loop in row order: the counters are *cumulative*, so
+        summing a window's contribution first and adding it once would
+        round differently from the legacy one-share-at-a-time adds.
+        """
+        n = batch.n
+        if n == 0:
+            return
+        lat = batch.unit_stall_cycles * batch.mlp
+        occ = batch.misses_f * lat
+        busy = occ / batch.mlp
+        if self.noise > 0.0:
+            jitter = np.exp(self._rng.normal(0.0, self.noise, size=(n, 2)))
+            occ = occ * jitter[:, 0]
+            busy = busy * jitter[:, 1]
+        tiers = batch.tiers
+        for i in range(n):
+            tier = tiers[i]
+            self._occupancy[tier] += float(occ[i])
+            self._busy[tier] += float(busy[i])
 
     def read(self) -> TorSnapshot:
         """Snapshot the cumulative counters (as perf would read them)."""

@@ -27,7 +27,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.hw.pebs import PebsBatch
-from repro.hw.stall import GroupTierShare
+from repro.hw.stall import GroupTierShare, ShareBatch
 from repro.mem.page import Tier
 
 #: Cycles to drain the hotlist at an epoch boundary (MMIO reads).
@@ -66,10 +66,14 @@ class ChmuSampler:
         ``tiers`` beyond the device's own tier are ignored (a CHMU only
         observes its own memory).
         """
-        for share in shares:
-            if share.tier != self.tier:
-                continue
-            np.add.at(self._counts, share.pages, share.counts)
+        if isinstance(shares, ShareBatch):
+            for i in shares.rows_in_tier(self.tier):
+                np.add.at(self._counts, shares.pages_of(i), shares.counts_of(i))
+        else:
+            for share in shares:
+                if share.tier != self.tier:
+                    continue
+                np.add.at(self._counts, share.pages, share.counts)
         self._window_in_epoch += 1
         if self._window_in_epoch < self.epoch_windows:
             return PebsBatch.empty(rate=1)

@@ -18,7 +18,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.hw.stall import GroupTierShare
+from repro.hw.stall import GroupTierShare, ShareBatch
 from repro.mem.page import Tier
 
 #: Default PEBS sampling rate: one record per 400 qualifying events (§4.3.5).
@@ -97,23 +97,23 @@ class PebsSampler:
         # record draw thins the load draw's result), so the RNG stream
         # -- and thus every sampled record -- matches the original
         # per-share loop exactly.  Everything downstream of the draws is
-        # batched: one concatenate, one unique, one bincount.
+        # batched: one concatenate, one unique, one bincount.  A
+        # ShareBatch is walked by row over its column views, so the
+        # draws see the same count values in the same order without
+        # materialising share objects.
         all_pages = []
         all_records = []
         share_units = []
-        for share in shares:
-            if share.tier not in tiers:
-                continue
-            counts = share.counts
+        for pages, counts, load_fraction, unit in _tier_share_rows(shares, tiers):
             if self.loads_only:
                 # Thin writes out before the 1-in-N event sampling.
-                counts = self._rng.binomial(counts, _load_fraction(share))
+                counts = self._rng.binomial(counts, load_fraction)
             records = self._rng.binomial(counts, 1.0 / self.rate)
-            all_pages.append(share.pages)
+            all_pages.append(pages)
             all_records.append(records)
             # Exposed latency per load = effective latency / MLP, which
             # is exactly the share's unit stall cost.
-            share_units.append(share.unit_stall_cycles)
+            share_units.append(unit)
         if not all_pages:
             return PebsBatch.empty(self.rate)
         pages = np.concatenate(all_pages) if len(all_pages) > 1 else all_pages[0]
@@ -144,6 +144,29 @@ class PebsSampler:
             overhead_cycles=total * self.cycles_per_record,
             latencies=latencies,
         )
+
+
+def _tier_share_rows(shares, tiers: "tuple[Tier, ...]"):
+    """Yield ``(pages, counts, load_fraction, unit_stall_cycles)`` for
+    the shares in ``tiers``, in share order, from either a columnar
+    :class:`ShareBatch` (views, no object churn) or a share sequence."""
+    if isinstance(shares, ShareBatch):
+        codes = tuple(int(t) for t in tiers)
+        tier_codes = shares.tier_codes
+        for i in range(shares.n):
+            if int(tier_codes[i]) not in codes:
+                continue
+            yield (
+                shares.pages_of(i),
+                shares.counts_of(i),
+                float(shares.load_fraction[i]),
+                float(shares.unit_stall_cycles[i]),
+            )
+        return
+    for share in shares:
+        if share.tier not in tiers:
+            continue
+        yield share.pages, share.counts, _load_fraction(share), share.unit_stall_cycles
 
 
 def _load_fraction(share: GroupTierShare) -> float:

@@ -12,6 +12,20 @@ M/M/1-style queueing factor.  The window duration and the contention
 level are mutually dependent (utilisation = bytes / (duration * BW)), so
 the model solves the fixed point with a few damped iterations.
 
+Two equivalent pipelines solve the window:
+
+* the **columnar** one (:class:`ShareBatch` + :meth:`StallModel.solve`
+  on a batch): share attributes live in per-window arrays and every
+  fixed-point iteration is a handful of numpy ops.  Per-tier stall
+  accumulation uses ``np.bincount`` with float weights, which adds
+  partial sums *in input-element order* -- exactly the order the legacy
+  loop used -- so the float results are bit-identical;
+* the **legacy** object-per-share one (:func:`split_groups_legacy` +
+  ``solve`` on a plain share list): the original ordered-accumulation
+  loops, kept importable both as the exactness reference for the
+  property tests and as the fallback should a scenario's summation
+  order ever diverge.
+
 Note the deliberate architecture: policies never see this module's
 outputs directly.  They observe only the counters derived from it
 (:mod:`repro.hw.cha`, :mod:`repro.hw.perf`) plus PEBS samples, so PACT's
@@ -22,7 +36,7 @@ that the tests validate against this ground truth.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -70,6 +84,142 @@ class GroupTierShare:
         return self.counts.astype(float) * self.unit_stall_cycles
 
 
+class ShareBatch:
+    """Columnar (structure-of-arrays) view of one window's shares.
+
+    Rows are in the legacy share order -- for each group in traffic
+    order, its FAST share (if any) then its SLOW share (if any) -- so
+    every consumer that walks rows front to back reproduces the exact
+    iteration order (and therefore the exact RNG stream and float
+    summation order) of the old ``List[GroupTierShare]`` pipeline.
+
+    Page/count data for all shares lives in two tier-partitioned
+    concatenation buffers; ``pages_of``/``counts_of`` carve per-share
+    slices out of them as views.  The buffers (and the column arrays)
+    are scratch owned by the :class:`StallModel` that built the batch:
+    a batch is only valid until the model's next ``split_groups`` call.
+
+    For compatibility with code written against share lists, a batch
+    supports ``len``, iteration, and indexing; these lazily materialise
+    :class:`GroupTierShare` objects (with *copied* page/count arrays, so
+    they survive scratch reuse).
+    """
+
+    __slots__ = (
+        "n",
+        "group_index",
+        "tier_codes",
+        "tiers",
+        "mlp",
+        "load_fraction",
+        "misses",
+        "misses_f",
+        "offsets",
+        "pages_buf",
+        "counts_buf",
+        "labels",
+        "unit_stall_cycles",
+        "stall_scratch",
+        "tier_misses",
+        "_materialised",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        group_index: np.ndarray,
+        tier_codes: np.ndarray,
+        mlp: np.ndarray,
+        load_fraction: np.ndarray,
+        misses: np.ndarray,
+        offsets: np.ndarray,
+        pages_buf: np.ndarray,
+        counts_buf: np.ndarray,
+        labels: List[str],
+        unit_stall_cycles: np.ndarray,
+        stall_scratch: np.ndarray,
+    ):
+        self.n = n
+        self.group_index = group_index
+        self.tier_codes = tier_codes
+        #: Per-row :class:`Tier` enums (consumers key dicts by tier).
+        self.tiers = [Tier(int(c)) for c in tier_codes]
+        self.mlp = mlp
+        self.load_fraction = load_fraction
+        #: Per-row total miss count (precomputed once per window; the
+        #: legacy pipeline re-reduced ``counts.sum()`` many times per
+        #: share per window).
+        self.misses = misses
+        self.misses_f = misses.astype(np.float64)
+        self.offsets = offsets
+        self.pages_buf = pages_buf
+        self.counts_buf = counts_buf
+        self.labels = labels
+        #: Filled by the solver: per-row stall cycles per miss.
+        self.unit_stall_cycles = unit_stall_cycles
+        #: Solver scratch for per-row stall weights (reused each iteration).
+        self.stall_scratch = stall_scratch
+        #: ``(fast_misses, slow_misses)`` totals, indexed by ``int(tier)``.
+        self.tier_misses = (
+            int(misses[tier_codes == int(Tier.FAST)].sum()),
+            int(misses[tier_codes == int(Tier.SLOW)].sum()),
+        )
+        self._materialised: Optional[List[GroupTierShare]] = None
+
+    # -- per-row views -------------------------------------------------------
+
+    def pages_of(self, i: int) -> np.ndarray:
+        return self.pages_buf[self.offsets[i] : self.offsets[i + 1]]
+
+    def counts_of(self, i: int) -> np.ndarray:
+        return self.counts_buf[self.offsets[i] : self.offsets[i + 1]]
+
+    def rows_in_tier(self, tier: Tier) -> List[int]:
+        """Row indices of the shares in ``tier``, in row (= legacy) order."""
+        code = int(tier)
+        return [i for i in range(self.n) if self.tier_codes[i] == code]
+
+    # -- list compatibility --------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __iter__(self):
+        return iter(self.as_shares())
+
+    def __getitem__(self, i: int) -> GroupTierShare:
+        return self.as_shares()[i]
+
+    def __eq__(self, other) -> bool:
+        # Supports the common "no shares" check (``batch == []``);
+        # element-wise list comparison is not meaningful for dataclasses
+        # holding arrays, so anything else falls through.
+        if isinstance(other, (list, tuple)) and len(other) == 0:
+            return self.n == 0
+        return NotImplemented
+
+    def __hash__(self):  # pragma: no cover - batches are not dict keys
+        return id(self)
+
+    def as_shares(self) -> List[GroupTierShare]:
+        """Materialise :class:`GroupTierShare` objects (copied arrays)."""
+        if self._materialised is None:
+            self._materialised = [
+                GroupTierShare(
+                    group_index=int(self.group_index[i]),
+                    tier=self.tiers[i],
+                    pages=self.pages_of(i).copy(),
+                    counts=self.counts_of(i).copy(),
+                    mlp=float(self.mlp[i]),
+                    load_fraction=float(self.load_fraction[i]),
+                    label=self.labels[i],
+                    unit_stall_cycles=float(self.unit_stall_cycles[i]),
+                )
+                for i in range(self.n)
+            ]
+        return self._materialised
+
+
 @dataclass
 class TierLoad:
     """Aggregate per-tier outcome of one window."""
@@ -88,7 +238,7 @@ class TierLoad:
 class WindowHardware:
     """Full ground-truth outcome of one simulated window."""
 
-    shares: List[GroupTierShare]
+    shares: Union[ShareBatch, List[GroupTierShare]]
     tier_loads: Dict[Tier, TierLoad]
     compute_cycles: float
     duration_cycles: float
@@ -99,6 +249,37 @@ class WindowHardware:
 
     def shares_in_tier(self, tier: Tier) -> List[GroupTierShare]:
         return [s for s in self.shares if s.tier == tier]
+
+
+def split_groups_legacy(
+    groups: Sequence[AccessGroup], placement: np.ndarray
+) -> List[GroupTierShare]:
+    """The original object-per-share split (exactness reference).
+
+    Builds one freshly-allocated :class:`GroupTierShare` per (group,
+    tier) with boolean-mask copies -- the behaviour the columnar
+    ``split_groups`` replaces.  Kept importable for the property tests
+    and as the ordered fallback path.
+    """
+    shares: List[GroupTierShare] = []
+    for gi, group in enumerate(groups):
+        tiers = placement[group.pages]
+        for tier in (Tier.FAST, Tier.SLOW):
+            mask = tiers == int(tier)
+            if not mask.any():
+                continue
+            shares.append(
+                GroupTierShare(
+                    group_index=gi,
+                    tier=tier,
+                    pages=group.pages[mask],
+                    counts=group.counts[mask],
+                    mlp=group.mlp,
+                    load_fraction=group.load_fraction,
+                    label=group.label,
+                )
+            )
+    return shares
 
 
 class StallModel:
@@ -118,34 +299,118 @@ class StallModel:
         #: Optional :class:`repro.obs.Observability` sink for the
         #: fixed-point residual gauge (None = no publishing).
         self._obs = obs
+        # -- reusable split/solve scratch (grown on demand, never shrunk) --
+        self._page_scratch = np.empty(0, dtype=np.int64)
+        self._count_scratch = np.empty(0, dtype=np.int64)
+        self._mask_scratch = np.empty(0, dtype=bool)
+        self._row_capacity = 0
+        self._row_cols: Dict[str, np.ndarray] = {}
+
+    # -- share splitting -----------------------------------------------------
 
     def split_groups(
-        self, groups: Sequence[AccessGroup], placement: np.ndarray
-    ) -> List[GroupTierShare]:
-        """Partition each group's traffic by the current page placement."""
-        shares: List[GroupTierShare] = []
+        self,
+        groups: Sequence[AccessGroup],
+        placement: np.ndarray,
+        pages: Optional[np.ndarray] = None,
+        counts: Optional[np.ndarray] = None,
+    ) -> ShareBatch:
+        """Partition each group's traffic by placement, columnar.
+
+        One vectorised pass: a single ``placement`` gather over the
+        window's concatenated pages, then per (group, tier) a mask +
+        ``np.compress`` into the model-owned partitioned buffers.  Rows
+        come out in the legacy share order (per group: FAST then SLOW).
+
+        ``pages``/``counts`` optionally pass in the already-concatenated
+        traffic (the machine builds that concatenation anyway for the
+        LRU touch); when omitted it is built here.  The returned batch
+        aliases model scratch and is valid until the next call.
+        """
+        n_groups = len(groups)
+        if pages is None:
+            if n_groups == 0:
+                pages = np.empty(0, dtype=np.int64)
+                counts = np.empty(0, dtype=np.int64)
+            elif n_groups == 1:
+                pages, counts = groups[0].pages, groups[0].counts
+            else:
+                pages = np.concatenate([g.pages for g in groups])
+                counts = np.concatenate([g.counts for g in groups])
+        total = pages.size
+        if self._page_scratch.size < total:
+            self._page_scratch = np.empty(total, dtype=np.int64)
+            self._count_scratch = np.empty(total, dtype=np.int64)
+            self._mask_scratch = np.empty(total, dtype=bool)
+        max_rows = 2 * n_groups
+        if self._row_capacity < max_rows or not self._row_cols:
+            self._row_capacity = max(max_rows, 2 * self._row_capacity, 8)
+            cap = self._row_capacity
+            self._row_cols = {
+                "group_index": np.empty(cap, dtype=np.int64),
+                "tier_codes": np.empty(cap, dtype=np.intp),
+                "mlp": np.empty(cap, dtype=np.float64),
+                "load_fraction": np.empty(cap, dtype=np.float64),
+                "offsets": np.empty(cap + 1, dtype=np.int64),
+                "unit": np.empty(cap, dtype=np.float64),
+                "stall_w": np.empty(cap, dtype=np.float64),
+            }
+        cols = self._row_cols
+        tiers_all = placement[pages]
+        labels: List[str] = []
+        row = 0
+        off = 0
+        cols["offsets"][0] = 0
+        start = 0
         for gi, group in enumerate(groups):
-            tiers = placement[group.pages]
-            for tier in (Tier.FAST, Tier.SLOW):
-                mask = tiers == int(tier)
-                if not mask.any():
+            size = group.pages.size
+            sub = tiers_all[start : start + size]
+            for tier_code in (int(Tier.FAST), int(Tier.SLOW)):
+                mask = self._mask_scratch[:size]
+                np.equal(sub, tier_code, out=mask)
+                k = int(np.count_nonzero(mask))
+                if k == 0:
                     continue
-                shares.append(
-                    GroupTierShare(
-                        group_index=gi,
-                        tier=tier,
-                        pages=group.pages[mask],
-                        counts=group.counts[mask],
-                        mlp=group.mlp,
-                        load_fraction=group.load_fraction,
-                        label=group.label,
-                    )
+                np.compress(
+                    mask, pages[start : start + size], out=self._page_scratch[off : off + k]
                 )
-        return shares
+                np.compress(
+                    mask, counts[start : start + size], out=self._count_scratch[off : off + k]
+                )
+                cols["group_index"][row] = gi
+                cols["tier_codes"][row] = tier_code
+                cols["mlp"][row] = group.mlp
+                cols["load_fraction"][row] = group.load_fraction
+                labels.append(group.label)
+                off += k
+                row += 1
+                cols["offsets"][row] = off
+            start += size
+        offsets = cols["offsets"][: row + 1]
+        if row:
+            misses = np.add.reduceat(self._count_scratch[:off], offsets[:-1])
+        else:
+            misses = np.empty(0, dtype=np.int64)
+        return ShareBatch(
+            n=row,
+            group_index=cols["group_index"][:row],
+            tier_codes=cols["tier_codes"][:row],
+            mlp=cols["mlp"][:row],
+            load_fraction=cols["load_fraction"][:row],
+            misses=misses,
+            offsets=offsets,
+            pages_buf=self._page_scratch[:off],
+            counts_buf=self._count_scratch[:off],
+            labels=labels,
+            unit_stall_cycles=cols["unit"][:row],
+            stall_scratch=cols["stall_w"][:row],
+        )
+
+    # -- the fixed point -----------------------------------------------------
 
     def solve(
         self,
-        shares: Sequence[GroupTierShare],
+        shares: Union[ShareBatch, Sequence[GroupTierShare]],
         compute_cycles: float,
         extra_bytes: Optional[Dict[Tier, float]] = None,
         extra_cycles: float = 0.0,
@@ -156,11 +421,103 @@ class StallModel:
         for the observed application (MLC contenders, migration copies).
         ``extra_cycles`` extends the duration without stalls (sampling /
         migration overheads charged to the window).
+
+        A :class:`ShareBatch` takes the vectorised path; a plain share
+        sequence takes the legacy ordered-accumulation loop.  The two
+        are bit-identical (the property tests assert it).
+        """
+        if isinstance(shares, ShareBatch):
+            return self._solve_batch(shares, compute_cycles, extra_bytes, extra_cycles)
+        return self._solve_shares(shares, compute_cycles, extra_bytes, extra_cycles)
+
+    def _solve_batch(
+        self,
+        batch: ShareBatch,
+        compute_cycles: float,
+        extra_bytes: Optional[Dict[Tier, float]],
+        extra_cycles: float,
+    ) -> WindowHardware:
+        """Vectorised fixed point over the batch columns.
+
+        Each iteration: the per-tier latency/utilisation update stays
+        the exact scalar code (two tiers), then per-share unit costs and
+        the per-tier stall totals are single numpy ops.  ``bincount``
+        accumulates float weights in row order -- the same order (and
+        thus the same rounding) as the legacy per-share loop.
         """
         extra_bytes = extra_bytes or {}
         loads = {t: TierLoad(tier=t) for t in (Tier.FAST, Tier.SLOW)}
-        for share in shares:
-            loads[share.tier].misses += share.misses
+        for tier, load in loads.items():
+            load.misses = batch.tier_misses[int(tier)]
+            demand_bytes = load.misses * CACHE_LINE_SIZE
+            load.bytes = demand_bytes * (1.0 + self.prefetch_traffic_factor)
+            load.bytes += float(extra_bytes.get(tier, 0.0))
+
+        codes = batch.tier_codes
+        unit = batch.unit_stall_cycles
+        weights = batch.stall_scratch
+        lat = np.empty(2, dtype=np.float64)
+
+        duration = max(compute_cycles + extra_cycles, 1.0)
+        residual = 0.0
+        for _ in range(_FIXED_POINT_ITERATIONS):
+            for tier, load in loads.items():
+                spec = self.spec[tier]
+                duration_ns = duration / self.freq_ghz
+                supply = spec.bytes_per_ns() * duration_ns
+                util = min(load.bytes / supply if supply > 0 else 0.0, MAX_UTILISATION)
+                load.utilisation = util
+                inflation = 1.0 + QUEUE_GAIN * util / (1.0 - util)
+                load.effective_latency_cycles = ns_to_cycles(spec.latency_ns, self.freq_ghz) * inflation
+                lat[int(tier)] = load.effective_latency_cycles
+            np.take(lat, codes, out=unit)
+            np.divide(unit, batch.mlp, out=unit)
+            np.multiply(batch.misses_f, unit, out=weights)
+            tier_stalls = np.bincount(codes, weights=weights, minlength=2)
+            loads[Tier.FAST].stall_cycles = float(tier_stalls[int(Tier.FAST)])
+            loads[Tier.SLOW].stall_cycles = float(tier_stalls[int(Tier.SLOW)])
+            total_stalls = float(tier_stalls[0]) + float(tier_stalls[1])
+            new_duration = max(compute_cycles + extra_cycles + total_stalls, 1.0)
+            residual = abs(new_duration - duration) / new_duration
+            # Damped update stabilises the few pathological cases where
+            # contention and duration oscillate.
+            duration = 0.5 * duration + 0.5 * new_duration
+
+        if self._obs is not None:
+            # Residual of the last iteration: how far the damped solve
+            # still was from its fixed point (loop-health gauge).
+            self._obs.gauge("stall/fixed_point_residual", residual)
+        np.divide(batch.misses_f, batch.mlp, out=weights)
+        inv = np.bincount(codes, weights=weights, minlength=2)
+        for tier, load in loads.items():
+            total = batch.tier_misses[int(tier)]
+            if total == 0:
+                load.mlp = 1.0
+                continue
+            tier_inv = float(inv[int(tier)])
+            load.mlp = total / tier_inv if tier_inv > 0 else 1.0
+        return WindowHardware(
+            shares=batch,
+            tier_loads=loads,
+            compute_cycles=compute_cycles,
+            duration_cycles=duration,
+        )
+
+    def _solve_shares(
+        self,
+        shares: Sequence[GroupTierShare],
+        compute_cycles: float,
+        extra_bytes: Optional[Dict[Tier, float]],
+        extra_cycles: float,
+    ) -> WindowHardware:
+        """Legacy ordered-accumulation fixed point over share objects."""
+        extra_bytes = extra_bytes or {}
+        loads = {t: TierLoad(tier=t) for t in (Tier.FAST, Tier.SLOW)}
+        by_tier: Dict[Tier, List[GroupTierShare]] = {Tier.FAST: [], Tier.SLOW: []}
+        share_misses = [share.misses for share in shares]
+        for share, misses in zip(shares, share_misses):
+            loads[share.tier].misses += misses
+            by_tier[share.tier].append(share)
         for tier, load in loads.items():
             demand_bytes = load.misses * CACHE_LINE_SIZE
             load.bytes = demand_bytes * (1.0 + self.prefetch_traffic_factor)
@@ -183,8 +540,8 @@ class StallModel:
                 share.unit_stall_cycles = lat / share.mlp
             for load in loads.values():
                 load.stall_cycles = 0.0
-            for share in shares:
-                loads[share.tier].stall_cycles += share.stall_cycles()
+            for share, misses in zip(shares, share_misses):
+                loads[share.tier].stall_cycles += misses * share.unit_stall_cycles
             total_stalls = sum(load.stall_cycles for load in loads.values())
             new_duration = max(compute_cycles + extra_cycles + total_stalls, 1.0)
             residual = abs(new_duration - duration) / new_duration
@@ -197,9 +554,9 @@ class StallModel:
             # still was from its fixed point (loop-health gauge).
             self._obs.gauge("stall/fixed_point_residual", residual)
         for load in loads.values():
-            load.mlp = _harmonic_mlp(
-                [s for s in shares if s.tier == load.tier]
-            )
+            # Shares were bucketed by tier in the first pass above; the
+            # old per-tier rescan of the full share list is gone.
+            load.mlp = _harmonic_mlp(by_tier[load.tier])
         return WindowHardware(
             shares=list(shares),
             tier_loads=loads,

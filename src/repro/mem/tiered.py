@@ -109,6 +109,18 @@ class TieredMemory:
     def free_pages(self, tier: Tier) -> int:
         return self.capacity[tier] - self.used[tier]
 
+    @property
+    def fully_allocated(self) -> bool:
+        """True once every footprint page has a tier.
+
+        Pages are only ever allocated (``allocate_first_touch``) or
+        moved between tiers (``move``), never freed, so the per-tier
+        ``used`` totals are a monotone proxy: when they sum to the
+        footprint, ``allocate_first_touch`` is a guaranteed no-op and
+        callers may skip computing its page set entirely.
+        """
+        return self.used[Tier.FAST] + self.used[Tier.SLOW] >= self.footprint_pages
+
     def tier_of(self, pages: np.ndarray) -> np.ndarray:
         """Placement of each page id (UNALLOCATED for untouched pages)."""
         return self.placement[np.asarray(pages, dtype=np.int64)]

@@ -27,12 +27,12 @@ from repro.common.rngutil import split
 from repro.hw.cha import ChaTorCounters
 from repro.hw.pebs import PebsBatch, PebsSampler
 from repro.hw.perf import PerfCounters
-from repro.hw.stall import StallModel
+from repro.hw.stall import ShareBatch, StallModel
 from repro.obs import Observability, resolve as resolve_obs
 from repro.mem.page import Tier
 from repro.mem.tiered import TieredMemory
 from repro.sim.config import MachineConfig
-from repro.sim.metrics import RunResult, WindowRecord
+from repro.sim.metrics import RunResult
 from repro.sim.migration import MigrationEngine, MigrationOutcome
 from repro.sim.policy_api import Decision, Observation, TieringPolicy
 from repro.workloads.base import Workload
@@ -152,10 +152,21 @@ class Machine:
         else:
             all_pages = np.concatenate([g.pages for g in groups])
             all_counts = np.concatenate([g.counts for g in groups])
-        touched = np.unique(all_pages[all_counts > 0])
-        self.memory.allocate_first_touch(touched, prefer=self.policy.alloc_prefer)
+        # The sorted touched-page set exists for two consumers: first-touch
+        # allocation and the Observation's touched_slow/touched_fast
+        # fields.  Once the footprint is fully allocated (normally right
+        # after _preallocate) and the policy declares it never reads the
+        # touched fields, the np.unique -- the single most expensive op
+        # in the window loop -- is skipped entirely.
+        if self.memory.fully_allocated and not self.policy.needs_touched_pages:
+            touched = None
+        else:
+            touched = np.unique(all_pages[all_counts > 0])
+            self.memory.allocate_first_touch(touched, prefer=self.policy.alloc_prefer)
 
-        shares = self.stall_model.split_groups(traffic.groups, self.memory.placement)
+        shares = self.stall_model.split_groups(
+            traffic.groups, self.memory.placement, pages=all_pages, counts=all_counts
+        )
 
         extra_bytes = dict(self._pending_bytes)
         if self.contender is not None:
@@ -241,7 +252,7 @@ class Machine:
         return self.pebs.sample(shares, tiers=tiers)
 
     def _observe(
-        self, pebs_batch: PebsBatch, touched: np.ndarray, duration: float
+        self, pebs_batch: PebsBatch, touched: Optional[np.ndarray], duration: float
     ) -> Observation:
         perf_now = self.perf.read()
         tor_now = self.cha.read()
@@ -259,8 +270,7 @@ class Machine:
         }
         self._last_perf = perf_now
         self._last_tor = tor_now
-        placement = self.memory.placement[touched]
-        return Observation(
+        obs = Observation(
             window=self._window,
             window_cycles=duration,
             perf=perf_delta,
@@ -269,10 +279,15 @@ class Machine:
             memory=self.memory,
             tor_occupancy_delta=tor_occ,
             tor_busy_delta=tor_busy,
-            touched_slow=touched[placement == int(Tier.SLOW)],
-            touched_fast=touched[placement == int(Tier.FAST)],
             progress=self.workload.progress,
         )
+        if touched is not None:
+            # touched is None only when the policy declared (via
+            # needs_touched_pages) that it never reads these fields.
+            placement = self.memory.placement[touched]
+            obs.touched_slow = touched[placement == int(Tier.SLOW)]
+            obs.touched_fast = touched[placement == int(Tier.FAST)]
+        return obs
 
     def _apply(self, decision: Decision) -> MigrationOutcome:
         total = MigrationOutcome()
@@ -321,26 +336,31 @@ class Machine:
     def _record(self, phase, outcome, migration, obs, duration) -> None:
         loads = outcome.tier_loads
         label_stalls: Dict[str, float] = {}
-        for share in outcome.shares:
-            prefix = share.label.split(":", 1)[0] if share.label else ""
-            label_stalls[prefix] = label_stalls.get(prefix, 0.0) + share.stall_cycles()
-        self.obs.recorder.append(
-            WindowRecord(
-                window=self._window,
-                duration_cycles=duration,
-                stall_cycles=outcome.total_stall_cycles,
-                slow_misses=loads[Tier.SLOW].misses,
-                fast_misses=loads[Tier.FAST].misses,
-                promoted=migration.promoted,
-                demoted=migration.demoted,
-                mlp_slow=loads[Tier.SLOW].mlp,
-                mlp_fast=loads[Tier.FAST].mlp,
-                fast_resident_fraction=self.memory.resident_fraction(Tier.FAST),
-                phase=phase,
-                policy_debug=self.policy.debug_info(),
-                label_stalls=label_stalls,
-                metrics=self.obs.window_metrics(),
-            )
+        shares = outcome.shares
+        if isinstance(shares, ShareBatch):
+            stalls = shares.misses_f * shares.unit_stall_cycles
+            for i, label in enumerate(shares.labels):
+                prefix = label.split(":", 1)[0] if label else ""
+                label_stalls[prefix] = label_stalls.get(prefix, 0.0) + float(stalls[i])
+        else:
+            for share in shares:
+                prefix = share.label.split(":", 1)[0] if share.label else ""
+                label_stalls[prefix] = label_stalls.get(prefix, 0.0) + share.stall_cycles()
+        self.obs.recorder.append_window(
+            window=self._window,
+            duration_cycles=duration,
+            stall_cycles=outcome.total_stall_cycles,
+            slow_misses=loads[Tier.SLOW].misses,
+            fast_misses=loads[Tier.FAST].misses,
+            promoted=migration.promoted,
+            demoted=migration.demoted,
+            mlp_slow=loads[Tier.SLOW].mlp,
+            mlp_fast=loads[Tier.FAST].mlp,
+            fast_resident_fraction=self.memory.resident_fraction(Tier.FAST),
+            phase=phase,
+            policy_debug=self.policy.debug_info(),
+            label_stalls=label_stalls,
+            metrics=self.obs.window_metrics(),
         )
 
     def result(self) -> RunResult:

@@ -35,6 +35,22 @@ class WindowRecord:
     metrics: Dict[str, float] = field(default_factory=dict)
 
 
+#: Column schema for columnar window-trace storage
+#: (:class:`repro.obs.recorder.TraceRecorder` keeps one array per scalar
+#: column and materialises :class:`WindowRecord` views lazily).  The
+#: int/float split preserves JSON round-trips exactly: miss and
+#: migration counts must re-serialise as integers, not ``5.0``.
+WINDOW_INT_COLUMNS = ("window", "slow_misses", "fast_misses", "promoted", "demoted")
+WINDOW_FLOAT_COLUMNS = (
+    "duration_cycles",
+    "stall_cycles",
+    "mlp_slow",
+    "mlp_fast",
+    "fast_resident_fraction",
+)
+WINDOW_OBJECT_COLUMNS = ("phase", "policy_debug", "label_stalls", "metrics")
+
+
 @dataclass
 class RunResult:
     """Outcome of one full simulation."""

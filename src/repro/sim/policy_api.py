@@ -116,6 +116,14 @@ class TieringPolicy(abc.ABC):
     #: (Sapphire-Rapids TPEBS; used by latency-weighted attribution).
     wants_pebs_latency: bool = False
 
+    #: Whether this policy reads ``Observation.touched_slow`` /
+    #: ``touched_fast`` (hint-fault and page-table-scan designs: NBT,
+    #: Nomad, TPP).  Policies that declare ``False`` let the machine
+    #: skip building the sorted touched-page set each window -- the
+    #: most expensive single operation in the window loop -- once the
+    #: footprint is fully allocated.  Defaults to ``True`` (safe).
+    needs_touched_pages: bool = True
+
     #: Access-sampling backend: "pebs" (host event sampling) or "chmu"
     #: (CXL 3.2 controller-side hotness monitoring, §4.3.5).
     access_sampler: str = "pebs"
@@ -164,6 +172,7 @@ class NoTierPolicy(TieringPolicy):
     name = "NoTier"
     synchronous_migration = False
     needs_pebs = False
+    needs_touched_pages = False
 
     def observe(self, obs: Observation) -> Decision:  # noqa: ARG002
         return Decision.none()
@@ -176,6 +185,7 @@ class SlowOnlyPolicy(TieringPolicy):
     synchronous_migration = False
     alloc_prefer = Tier.SLOW
     needs_pebs = False
+    needs_touched_pages = False
 
     def observe(self, obs: Observation) -> Decision:  # noqa: ARG002
         return Decision.none()

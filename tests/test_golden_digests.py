@@ -79,6 +79,58 @@ def result_digest(policy, workload, thp, contender_threads):
     return content_hash(canonical(result_to_dict(result)))
 
 
+#: Extended scenarios beyond the original 18-entry matrix: a CHMU-sampler
+#: run (the CXL 3.2 hotness-monitoring path never covered above) and a
+#: traced colocation run (multi-member traffic, per-member metrics, and
+#: the window-trace serialisation, which pins the columnar recorder).
+#: Recorded with the same pre-columnar simulator as ``GOLDEN_DIGESTS``.
+GOLDEN_CHMU_DIGEST = "b8ad260258a3e5cb40b9674db35ba6e2685e4adef172b8e15f234ffb0a3fc8e0"
+GOLDEN_COLOCATION_DIGEST = "516ecd91d8a20b2ea03a227249f79eff6bf16be40f4caeb0cc75b4d6e555fb2d"
+
+
+def chmu_digest():
+    result = run_policy(
+        make_workload("gups", total_misses=2_000_000),
+        make_policy("PACT", access_sampler="chmu"),
+        ratio="1:4",
+        config=MachineConfig(),
+        seed=0,
+    )
+    return content_hash(canonical(result_to_dict(result)))
+
+
+def colocation_digest():
+    from repro.workloads import ColocatedWorkload, Masim
+
+    workload = ColocatedWorkload(
+        [
+            Masim(
+                pattern="sequential",
+                footprint_pages=6_144,
+                total_misses=1_000_000,
+                misses_per_window=160_000,
+                seed=41,
+            ),
+            Masim(
+                pattern="random",
+                footprint_pages=6_144,
+                total_misses=1_000_000,
+                misses_per_window=95_000,
+                seed=42,
+            ),
+        ]
+    )
+    result = run_policy(
+        workload,
+        make_policy("PACT"),
+        ratio="1:1",
+        config=MachineConfig(),
+        seed=8,
+        trace=True,
+    )
+    return content_hash(canonical(result_to_dict(result)))
+
+
 class TestGoldenDigests:
     @pytest.mark.parametrize(
         "policy,workload,thp,contender", sorted(GOLDEN_DIGESTS), ids=lambda v: str(v)
@@ -86,6 +138,12 @@ class TestGoldenDigests:
     def test_run_result_bit_identical(self, policy, workload, thp, contender):
         expected = GOLDEN_DIGESTS[(policy, workload, thp, contender)]
         assert result_digest(policy, workload, thp, contender) == expected
+
+    def test_chmu_sampler_bit_identical(self):
+        assert chmu_digest() == GOLDEN_CHMU_DIGEST
+
+    def test_colocation_traced_bit_identical(self):
+        assert colocation_digest() == GOLDEN_COLOCATION_DIGEST
 
     def test_cache_version_pinned(self):
         # The digests above were recorded against CACHE_VERSION 2; a
