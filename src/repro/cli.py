@@ -15,12 +15,21 @@ miss budget (larger = higher fidelity, slower).  Experiment subcommands
 take ``--jobs N`` (fan cache misses out over N worker processes),
 ``--cache-dir PATH`` (persist results in a content-addressed JSON cache;
 ``bench`` defaults to ``benchmarks/.cache``), and ``--no-cache``.
+
+Traffic replay is on by default: each workload's access stream is
+recorded once and replayed (bit-identically) for every policy, ratio,
+and contender that shares it.  ``--no-replay`` regenerates traffic
+live; ``--trace-dir PATH`` persists recorded ``.npt`` streams on disk
+(default: ``<cache-dir>/traces`` when a result cache is configured).
+``repro trace record WORKLOAD -o FILE.npt`` records a stream
+explicitly, for trace-driven evaluation.
 """
 
 from __future__ import annotations
 
 import argparse
 import contextlib
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -38,7 +47,8 @@ from repro.perf import harness as perf_harness
 from repro.sim import traceio
 from repro.sim.config import MachineConfig, PAPER_RATIOS
 from repro.sim.engine import ideal_baseline, run_policy
-from repro.workloads import ALL_WORKLOADS, generate_corpus, make_workload
+from repro.workloads import ALL_WORKLOADS, generate_corpus, make_workload, tracefile
+from repro.workloads import tracestore
 
 DEFAULT_WORK = 12_000_000
 
@@ -88,11 +98,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     trace_p = sub.add_parser(
         "trace",
-        help="one observed run; emit per-window telemetry as JSONL/CSV",
+        help="one observed run (telemetry export), or 'record' a traffic stream",
     )
-    trace_p.add_argument("workload", choices=ALL_WORKLOADS)
     trace_p.add_argument(
-        "policy", choices=sorted(set(ALL_POLICIES) | {"Frequency", "CXL"})
+        "workload", choices=sorted(ALL_WORKLOADS) + ["record"],
+        help="workload to trace, or 'record' to freeze a traffic stream "
+        "(repro trace record WORKLOAD -o FILE.npt)",
+    )
+    trace_p.add_argument(
+        "policy", nargs="?", default=None,
+        help="policy for the observed run; the workload name in record mode",
     )
     trace_p.add_argument("--ratio", default="1:1", help="fast:slow capacity, e.g. 1:4")
     trace_p.add_argument(
@@ -147,6 +162,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", "-o", default=perf_harness.DEFAULT_REPORT_PATH,
         help="where to write the report (default: %(default)s)",
     )
+    perf_replay = perf_p.add_mutually_exclusive_group()
+    perf_replay.add_argument(
+        "--replay", dest="replay", action="store_true", default=True,
+        help="time warm-cache traffic replay, the state sweeps run in (default)",
+    )
+    perf_replay.add_argument(
+        "--no-replay", dest="replay", action="store_false",
+        help="time live traffic generation instead of replay",
+    )
+    perf_p.add_argument(
+        "--trace-dir", default=perf_harness.DEFAULT_TRACE_DIR,
+        help="directory for the suite's recorded traces (default: %(default)s)",
+    )
 
     cal_p = sub.add_parser("calibrate", help="fit Equation 1's k on the corpus")
     cal_p.add_argument("--windows", type=int, default=10, help="windows per corpus point")
@@ -173,6 +201,20 @@ def _common_args(p: argparse.ArgumentParser, cache_dir_default: Optional[str] = 
         "--no-cache", action="store_true",
         help="recompute every run, and do not read or write cached results",
     )
+    replay = p.add_mutually_exclusive_group()
+    replay.add_argument(
+        "--replay", dest="replay", action="store_true", default=None,
+        help="record each traffic stream once and replay it (default)",
+    )
+    replay.add_argument(
+        "--no-replay", dest="replay", action="store_false",
+        help="regenerate workload traffic live for every run",
+    )
+    p.add_argument(
+        "--trace-dir", default=None,
+        help="directory for recorded .npt traffic traces "
+        "(default: <cache-dir>/traces when a result cache is configured)",
+    )
 
 
 def _config(args) -> MachineConfig:
@@ -186,22 +228,41 @@ def _experiment_store(args):
     Routing through the default store lets engine-level baseline calls
     and runner-level grid runs share one cache; the previous store is
     restored afterwards so library callers are unaffected.
+
+    The trace store rides along: recorded traffic streams persist next
+    to the result cache (``<cache-dir>/traces``) unless ``--trace-dir``
+    points elsewhere, and ``--replay/--no-replay`` set the process-wide
+    replay default for the duration of the command.
     """
     directory = None
     if not getattr(args, "no_cache", False):
         directory = getattr(args, "cache_dir", None)
     store = ResultStore(directory)
     set_default_store(store)
+    trace_dir = getattr(args, "trace_dir", None)
+    if trace_dir is None and directory is not None:
+        trace_dir = os.path.join(directory, "traces")
+    if trace_dir is None:
+        trace_dir = tracestore.default_trace_dir()
+    tracestore.set_default_trace_store(tracestore.TraceStore(trace_dir))
+    previous_replay = tracestore.set_replay_override(getattr(args, "replay", None))
     try:
         yield store
     finally:
         reset_default_store()
+        tracestore.reset_default_trace_store()
+        tracestore.set_replay_override(previous_replay)
 
 
 def cmd_run(args, out) -> int:
     config = _config(args)
     with _experiment_store(args):
         workload = make_workload(args.workload, total_misses=args.work)
+        if tracestore.replay_enabled():
+            # One recorded stream serves the baseline and the policy run
+            # (replay is bit-identical, so results and cache keys match
+            # a live run's exactly).
+            workload = tracestore.get_default_trace_store().replay(workload)
         baseline = ideal_baseline(workload, config=config, seed=args.seed)
         result = run_policy(
             workload, make_policy(args.policy), ratio=args.ratio, config=config, seed=args.seed
@@ -304,7 +365,21 @@ def cmd_trace(args, out) -> int:
     Always a live run (the cache is bypassed): telemetry is the point,
     and the run itself is seconds-scale.  Results are unaffected by the
     observability layer, so traced numbers match cached bench numbers.
+
+    ``repro trace record WORKLOAD -o FILE`` instead freezes the
+    workload's traffic stream to disk: binary ``.npt`` (memory-mappable,
+    the replay layer's native format) or, with a ``.json`` suffix, the
+    legacy JSON trace format.
     """
+    if args.workload == "record":
+        return _cmd_trace_record(args, out)
+    valid_policies = sorted(set(ALL_POLICIES) | {"Frequency", "CXL"})
+    if args.policy not in valid_policies:
+        print(
+            f"trace needs a policy (one of: {', '.join(valid_policies)})",
+            file=out,
+        )
+        return 2
     if args.trace_format == "csv" and not args.output:
         print("--format csv requires --output PATH", file=out)
         return 2
@@ -322,13 +397,15 @@ def cmd_trace(args, out) -> int:
         obs=obs,
         max_windows=args.max_windows,
     )
+    # Export straight from the recorder's columns (no per-row record
+    # materialisation); identical rows to exporting from the result.
     if args.trace_format == "csv":
-        traceio.write_trace_csv(result, args.output)
-        rows = len(result.trace)
+        traceio.write_trace_csv(obs.recorder, args.output)
+        rows = len(obs.recorder)
     elif args.output:
-        rows = traceio.write_trace_jsonl(result, args.output)
+        rows = traceio.write_trace_jsonl(obs.recorder, args.output)
     else:
-        rows = traceio.write_trace_jsonl(result, out)
+        rows = traceio.write_trace_jsonl(obs.recorder, out)
     if args.output:
         print(f"{args.workload} under {args.policy} at {args.ratio}:", file=out)
         print(f"wrote {rows} windows to {args.output}", file=out)
@@ -345,6 +422,45 @@ def cmd_trace(args, out) -> int:
     return 0
 
 
+def _cmd_trace_record(args, out) -> int:
+    """``repro trace record WORKLOAD -o FILE``: freeze a traffic stream."""
+    workload_name = args.policy
+    if workload_name not in ALL_WORKLOADS:
+        print(
+            f"trace record needs a workload (one of: {', '.join(ALL_WORKLOADS)})",
+            file=out,
+        )
+        return 2
+    if not args.output:
+        print("trace record requires --output PATH (.npt or .json)", file=out)
+        return 2
+    workload = make_workload(workload_name, total_misses=args.work)
+    if args.output.endswith(".json"):
+        windows = -(-workload.total_misses // workload.misses_per_window)
+        trace = tracefile.record_trace(workload, min(windows, args.max_windows))
+        tracefile.write_trace(trace, args.output)
+        rows = [
+            ["windows", len(trace["windows"])],
+            ["footprint pages", workload.footprint_pages],
+            ["format", "json"],
+        ]
+    else:
+        data = tracestore.record_to_file(
+            workload, args.output, max_windows=args.max_windows
+        )
+        rows = [
+            ["windows", data.num_windows],
+            ["access groups", data.num_groups],
+            ["page entries", data.num_entries],
+            ["footprint pages", workload.footprint_pages],
+            ["size", format_count(os.path.getsize(args.output)) + " bytes"],
+            ["format", f"npt v{tracestore.TRACE_FORMAT_VERSION}"],
+        ]
+    print(f"recorded {workload_name} traffic stream to {args.output}:", file=out)
+    print(format_table(["metric", "value"], rows), file=out)
+    return 0
+
+
 def cmd_perf(args, out) -> int:
     """Time the macro suite, report spans, gate on the committed baseline."""
     def progress(name, record):
@@ -355,12 +471,15 @@ def cmd_perf(args, out) -> int:
         )
 
     suite_kind = "quick" if args.quick else "full"
-    print(f"perf suite ({suite_kind}), best of {args.repeats} repeats:", file=out)
+    mode = "replay" if args.replay else "live generation"
+    print(f"perf suite ({suite_kind}, {mode}), best of {args.repeats} repeats:", file=out)
     report = perf_harness.run_suite(
         quick=args.quick,
         repeats=args.repeats,
         profile=not args.no_profile,
         progress=progress,
+        replay=args.replay,
+        trace_dir=args.trace_dir,
     )
     print(f"calibration: {report['calibration_ops_per_sec']:.1f} kernel iters/s", file=out)
     if not args.no_profile:
@@ -371,6 +490,17 @@ def cmd_perf(args, out) -> int:
                 print(format_table(["span", "wall time", "calls"], rows), file=out)
     perf_harness.write_report(report, args.output)
     print(f"wrote report to {args.output}", file=out)
+    root_copy = perf_harness.DEFAULT_ROOT_REPORT_PATH
+    if (
+        not args.quick
+        and args.replay
+        and os.path.abspath(args.output) != os.path.abspath(root_copy)
+    ):
+        # Keep the perf trajectory tracked in-repo across PRs.  Only
+        # full replay-mode runs qualify: a --quick or --no-replay leg
+        # would overwrite the snapshot with an incomparable subset.
+        perf_harness.write_report(report, root_copy)
+        print(f"refreshed {root_copy}", file=out)
     if args.update_baseline:
         perf_harness.write_report(report, args.baseline)
         print(f"updated baseline at {args.baseline}", file=out)

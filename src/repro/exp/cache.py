@@ -20,6 +20,7 @@ cache directory).
 
 from __future__ import annotations
 
+import copy
 import dataclasses
 import enum
 import hashlib
@@ -83,7 +84,16 @@ def workload_fingerprint(workload) -> Dict[str, Any]:
     Captures the base parameters every :class:`Workload` carries plus,
     recursively, the members of colocated workloads (whose access mix
     differs even at identical aggregate parameters).
+
+    Replaying workloads (:mod:`repro.workloads.tracestore`) carry the
+    fingerprint of the *recorded* workload and expose it via
+    ``replay_fingerprint``; honouring it here means a replayed run and a
+    live run of the same workload share one cache identity -- replay is
+    an execution detail, never a result-key input.
     """
+    replay_fp = getattr(workload, "replay_fingerprint", None)
+    if replay_fp is not None:
+        return copy.deepcopy(replay_fp)
     fp: Dict[str, Any] = {
         "class": type(workload).__qualname__,
         "name": workload.name,

@@ -58,6 +58,31 @@ def _first_unpicklable(requests: Sequence) -> Optional[object]:
     return None
 
 
+#: Offender identities already warned about in this process; repeated
+#: sweeps over the same lambda-factory workload warn once, not once per
+#: execute_many call.
+_WARNED_UNPICKLABLE: set = set()
+
+
+def _offender_key(offender) -> str:
+    """Identity of an un-picklable request's *type* of offence.
+
+    The culprit is almost always the workload factory (a lambda or
+    closure), so key on its qualified name: a sweep expanding one
+    factory into hundreds of requests is one offence, not hundreds.
+    """
+    workload = getattr(offender, "workload", None)
+    factory = getattr(workload, "factory", None)
+    if factory is not None:
+        return f"factory:{getattr(factory, '__qualname__', repr(factory))}"
+    return f"type:{type(offender).__qualname__}"
+
+
+def reset_unpicklable_warnings() -> None:
+    """Forget which offenders were warned about (test isolation)."""
+    _WARNED_UNPICKLABLE.clear()
+
+
 def execute_many(requests: Sequence, jobs: Optional[int] = None) -> List[RunResult]:
     """Execute requests, preserving order; parallel when ``jobs`` > 1."""
     jobs = resolve_jobs(jobs)
@@ -69,14 +94,17 @@ def execute_many(requests: Sequence, jobs: Optional[int] = None) -> List[RunResu
     except Exception:
         # Lambda/closure factories cannot cross process boundaries.
         offender = _first_unpicklable(requests)
-        label = getattr(offender, "display", None) or repr(offender)
-        warnings.warn(
-            f"execute_many: request {label!s} is not picklable "
-            f"(lambda/closure workload factory?); running all "
-            f"{len(requests)} requests serially in-process",
-            RuntimeWarning,
-            stacklevel=2,
-        )
+        key = _offender_key(offender)
+        if key not in _WARNED_UNPICKLABLE:
+            _WARNED_UNPICKLABLE.add(key)
+            label = getattr(offender, "display", None) or repr(offender)
+            warnings.warn(
+                f"execute_many: request {label!s} is not picklable "
+                f"(lambda/closure workload factory?); running all "
+                f"{len(requests)} requests serially in-process",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return [_run_one(r) for r in requests]
     workers = min(jobs, len(requests))
     # Without an explicit chunksize, pool.map dispatches one request per

@@ -28,9 +28,39 @@ from repro.sim.metrics import RunResult
 from repro.sim.policy_api import NoTierPolicy, SlowOnlyPolicy
 
 
+def _replay_requested(request: RunRequest) -> bool:
+    from repro.workloads.tracestore import replay_enabled
+
+    if request.replay is not None:
+        return request.replay
+    return replay_enabled()
+
+
+def _replay_workload(request: RunRequest, workload):
+    """Swap the live workload for a replay of its recorded stream.
+
+    Prefers the pre-recorded ``trace_path`` the runner attached before
+    fan-out (one memory-mapped copy shared across worker processes via
+    the page cache); unreadable/corrupt paths fall back to the trace
+    store, which re-records.  Bit-identity makes this swap invisible to
+    results and cache keys alike.
+    """
+    from repro.workloads import tracestore
+
+    if request.trace_path:
+        try:
+            return tracestore.ReplayWorkload(tracestore.read_npt(request.trace_path))
+        except tracestore.TraceFormatError:
+            pass
+    store = tracestore.get_default_trace_store()
+    return store.replay(workload, max_windows=request.max_windows)
+
+
 def execute_request(request: RunRequest) -> RunResult:
     """Run one request from scratch (no cache involvement)."""
     workload = request.workload.build()
+    if _replay_requested(request):
+        workload = _replay_workload(request, workload)
     config = request.config if request.config is not None else MachineConfig()
     # Requests asking for telemetry get a fresh bundle (with a bounded
     # trace ring when tracing too); otherwise the machine resolves the
@@ -178,6 +208,34 @@ class ExperimentResult:
         return table
 
 
+def _prepare_replay(requests: Sequence[RunRequest]) -> None:
+    """Record each distinct traffic stream once, before fan-out.
+
+    A stream is keyed by (workload identity, window budget) -- never by
+    policy, ratio, or contender -- so one recording serves every run in
+    a sweep that shares the workload.  When the trace store is
+    disk-backed the recorded ``.npt`` path is attached to the requests;
+    forked workers then memory-map one shared copy instead of each
+    regenerating (or unpickling) the traffic.  Memory-only stores still
+    help: forked children inherit the parent's recordings copy-on-write.
+    """
+    from repro.exp.cache import content_hash
+    from repro.workloads import tracestore
+
+    replaying = [req for req in requests if _replay_requested(req)]
+    if not replaying:
+        return
+    store = tracestore.get_default_trace_store()
+    prepared: Dict[tuple, Optional[str]] = {}
+    for req in replaying:
+        ident = (content_hash(req.workload.descriptor()), req.max_windows)
+        if ident not in prepared:
+            _, data = store.ensure(req.workload.build(), req.max_windows)
+            prepared[ident] = str(data.path) if data.path is not None else None
+        if req.trace_path is None and prepared[ident] is not None:
+            req.trace_path = prepared[ident]
+
+
 def run_requests(
     requests: Sequence[RunRequest],
     jobs: Optional[int] = None,
@@ -204,6 +262,7 @@ def run_requests(
         else:
             misses.append(req)
 
+    _prepare_replay(misses)
     for req, result in zip(misses, parallel.execute_many(misses, jobs=jobs)):
         results[req.key] = result
         if use_cache:

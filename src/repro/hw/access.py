@@ -13,7 +13,7 @@ measures via CHA/TOR occupancy (§4.2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -59,6 +59,14 @@ class WindowTraffic:
     done: bool = False
     #: Free-form phase tag, surfaced in traces and benches.
     phase: str = ""
+
+    #: Optional pre-concatenated views over all groups' pages/counts, in
+    #: group order.  Replayed windows are contiguous slices of one flat
+    #: trace column, so providing these lets the simulator skip a
+    #: per-window ``np.concatenate``; when absent the simulator builds
+    #: the flat arrays itself.
+    flat_pages: Optional[np.ndarray] = None
+    flat_counts: Optional[np.ndarray] = None
 
     extra: dict = field(default_factory=dict)
 

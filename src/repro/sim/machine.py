@@ -147,7 +147,11 @@ class Machine:
         # Observation) and the LRU/activity touch below --
         # ``traffic.touched_pages()`` would redo the same concatenation.
         groups = traffic.groups
-        if len(groups) == 1:
+        if traffic.flat_pages is not None and traffic.flat_counts is not None:
+            # Replayed windows are contiguous slices of one flat trace
+            # column; reuse the slice instead of re-concatenating.
+            all_pages, all_counts = traffic.flat_pages, traffic.flat_counts
+        elif len(groups) == 1:
             all_pages, all_counts = groups[0].pages, groups[0].counts
         else:
             all_pages = np.concatenate([g.pages for g in groups])

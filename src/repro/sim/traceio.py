@@ -69,23 +69,54 @@ def write_json(result: RunResult, path: PathLike, include_trace: bool = True) ->
     return path
 
 
-def write_trace_csv(result: RunResult, path: PathLike) -> Path:
-    """Write the per-window trace as CSV (requires a traced run)."""
-    if result.trace is None:
-        raise ValueError("run was not traced; construct the Machine with trace=True")
+def _is_recorder(source) -> bool:
+    """Duck-typed: TraceRecorder/NullRecorder expose ``keeps_records``."""
+    return getattr(source, "keeps_records", None) is not None
+
+
+def write_trace_csv(source, path: PathLike) -> Path:
+    """Write the per-window trace as CSV.
+
+    ``source`` is a traced :class:`RunResult`, or -- the fast path -- a
+    :class:`~repro.obs.recorder.TraceRecorder`, whose columns are
+    written directly without materialising a record object per row.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w", newline="") as fh:
         writer = csv.writer(fh)
         writer.writerow(_TRACE_COLUMNS)
-        for rec in result.trace:
-            writer.writerow([getattr(rec, col) for col in _TRACE_COLUMNS])
+        if _is_recorder(source):
+            cols = source.column_lists()
+            for i in range(len(source)):
+                writer.writerow([cols[col][i] for col in _TRACE_COLUMNS])
+        else:
+            if source.trace is None:
+                raise ValueError(
+                    "run was not traced; construct the Machine with trace=True"
+                )
+            for rec in source.trace:
+                writer.writerow([getattr(rec, col) for col in _TRACE_COLUMNS])
     return path
 
 
-def trace_rows(result: RunResult) -> list:
-    """JSON-serialisable per-window rows (requires a traced run)."""
-    if result.trace is None:
+def trace_rows(source) -> list:
+    """JSON-serialisable per-window rows.
+
+    Accepts a traced :class:`RunResult` or a recorder; the recorder path
+    builds rows columnar-first (no per-row :class:`WindowRecord`).
+    """
+    if _is_recorder(source):
+        cols = source.column_lists()
+        return [
+            {
+                **{col: cols[col][i] for col in _TRACE_COLUMNS},
+                "policy_debug": cols["policy_debug"][i],
+                "metrics": cols["metrics"][i],
+            }
+            for i in range(len(source))
+        ]
+    if source.trace is None:
         raise ValueError("run was not traced; construct the Machine with trace=True")
     return [
         {
@@ -93,18 +124,19 @@ def trace_rows(result: RunResult) -> list:
             "policy_debug": rec.policy_debug,
             "metrics": rec.metrics,
         }
-        for rec in result.trace
+        for rec in source.trace
     ]
 
 
-def write_trace_jsonl(result: RunResult, target) -> int:
+def write_trace_jsonl(source, target) -> int:
     """Write the per-window trace as JSONL (one window per line).
 
     ``target`` may be a path or an open text stream; returns the number
-    of rows written.  Works on any traced :class:`RunResult`, including
-    results restored from the experiment cache.
+    of rows written.  ``source`` is a traced :class:`RunResult`
+    (including ones restored from the experiment cache) or a
+    :class:`~repro.obs.recorder.TraceRecorder` for the columnar path.
     """
-    rows = trace_rows(result)
+    rows = trace_rows(source)
     if hasattr(target, "write"):
         for row in rows:
             target.write(json.dumps(row, sort_keys=True) + "\n")

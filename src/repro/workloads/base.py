@@ -116,6 +116,31 @@ class Workload(abc.ABC):
         )
         return traffic
 
+    def next_windows(self, k: int) -> List[WindowTraffic]:
+        """Emit up to ``k`` windows of traffic in one call.
+
+        The bulk path for trace recording (:mod:`repro.workloads.tracestore`):
+        the default implementation simply loops ``next_window`` and stops
+        early once the workload is done, so it is stream-identical by
+        construction.  Subclasses with vectorisable generators override
+        this to amortise RNG draws across the batch; overrides must emit
+        the exact window sequence the serial path would (the trace
+        round-trip tests pin this property).
+
+        Each returned window carries ``extra["consumed_after"]``: the
+        work counter as of that window.  Recording needs the per-window
+        value, which is unrecoverable after the fact when emission rules
+        differ by subclass; overrides must stamp it too.
+        """
+        windows: List[WindowTraffic] = []
+        for _ in range(k):
+            if self.done:
+                break
+            traffic = self.next_window()
+            traffic.extra["consumed_after"] = self._consumed
+            windows.append(traffic)
+        return windows
+
     def _compute_cycles(self, emitted_misses: int) -> float:
         return emitted_misses * self.compute_cycles_per_miss
 

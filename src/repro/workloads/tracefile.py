@@ -73,9 +73,20 @@ class TraceWorkload(Workload):
         self._cursor = 0
 
     @classmethod
-    def from_file(cls, path: PathLike, loop: bool = True) -> "TraceWorkload":
-        """Load a trace JSON from disk."""
-        return cls(json.loads(Path(path).read_text()), loop=loop)
+    def from_file(cls, path: PathLike, loop: bool = True) -> Workload:
+        """Load a trace from disk: JSON, or the binary ``.npt`` fast path.
+
+        ``.npt`` traces (:mod:`repro.workloads.tracestore`) come back as
+        a memory-mapped :class:`~repro.workloads.tracestore.ReplayWorkload`
+        with the same looping semantics -- zero-copy and without parsing
+        megabytes of JSON.
+        """
+        path = Path(path)
+        if path.suffix == ".npt":
+            from repro.workloads.tracestore import ReplayWorkload
+
+            return ReplayWorkload.from_file(path, loop=loop)
+        return cls(json.loads(path.read_text()), loop=loop)
 
     def set_total_misses(self, total: int) -> None:
         """Stretch/shrink the work budget (the trace loops to cover it)."""

@@ -147,10 +147,10 @@ class TestPerfCommand:
             },
         }
 
-    def _patched(self, monkeypatch, wps):
+    def _patched(self, monkeypatch, wps, tmp_path):
         from repro.perf import harness
 
-        def fake_run_suite(quick, repeats, profile, progress=None):
+        def fake_run_suite(quick, repeats, profile, progress=None, **kwargs):
             report = self.fake_report(wps)
             if progress is not None:
                 for name, record in report["scenarios"].items():
@@ -158,6 +158,10 @@ class TestPerfCommand:
             return report
 
         monkeypatch.setattr(harness, "run_suite", fake_run_suite)
+        # Keep the repo-root trajectory copy out of the working tree.
+        monkeypatch.setattr(
+            harness, "DEFAULT_ROOT_REPORT_PATH", str(tmp_path / "BENCH_perf.json")
+        )
 
     def test_parser_accepts_perf_flags(self):
         args = build_parser().parse_args(
@@ -167,7 +171,7 @@ class TestPerfCommand:
         assert args.quick and args.repeats == 3 and args.threshold == 0.5
 
     def test_update_baseline_then_compare_ok(self, monkeypatch, tmp_path):
-        self._patched(monkeypatch, wps=100.0)
+        self._patched(monkeypatch, wps=100.0, tmp_path=tmp_path)
         baseline = str(tmp_path / "baseline.json")
         output = str(tmp_path / "report.json")
         code, text = run_cli(
@@ -187,7 +191,7 @@ class TestPerfCommand:
 
         baseline = str(tmp_path / "baseline.json")
         harness.write_report(self.fake_report(wps=300.0), baseline)
-        self._patched(monkeypatch, wps=100.0)
+        self._patched(monkeypatch, wps=100.0, tmp_path=tmp_path)
         code, text = run_cli(
             "perf", "--quick", "--baseline", baseline,
             "--output", str(tmp_path / "report.json"),
@@ -196,7 +200,7 @@ class TestPerfCommand:
         assert "FAIL" in text
 
     def test_missing_baseline_is_not_an_error(self, monkeypatch, tmp_path):
-        self._patched(monkeypatch, wps=100.0)
+        self._patched(monkeypatch, wps=100.0, tmp_path=tmp_path)
         code, text = run_cli(
             "perf", "--quick",
             "--baseline", str(tmp_path / "none.json"),

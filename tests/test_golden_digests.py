@@ -61,15 +61,18 @@ GOLDEN_CACHE_KEYS = [
 ]
 
 
-def result_digest(policy, workload, thp, contender_threads):
+def result_digest(policy, workload, thp, contender_threads, trace_store=None):
     config = MachineConfig(thp=thp)
     contender = (
         MlcContender(threads=contender_threads, tier=Tier.SLOW)
         if contender_threads
         else None
     )
+    instance = make_workload(workload, total_misses=2_000_000)
+    if trace_store is not None:
+        instance = trace_store.replay(instance)
     result = run_policy(
-        make_workload(workload, total_misses=2_000_000),
+        instance,
         make_policy(policy),
         ratio="1:4",
         config=config,
@@ -88,9 +91,12 @@ GOLDEN_CHMU_DIGEST = "b8ad260258a3e5cb40b9674db35ba6e2685e4adef172b8e15f234ffb0a
 GOLDEN_COLOCATION_DIGEST = "516ecd91d8a20b2ea03a227249f79eff6bf16be40f4caeb0cc75b4d6e555fb2d"
 
 
-def chmu_digest():
+def chmu_digest(trace_store=None):
+    workload = make_workload("gups", total_misses=2_000_000)
+    if trace_store is not None:
+        workload = trace_store.replay(workload)
     result = run_policy(
-        make_workload("gups", total_misses=2_000_000),
+        workload,
         make_policy("PACT", access_sampler="chmu"),
         ratio="1:4",
         config=MachineConfig(),
@@ -99,7 +105,7 @@ def chmu_digest():
     return content_hash(canonical(result_to_dict(result)))
 
 
-def colocation_digest():
+def colocation_digest(trace_store=None):
     from repro.workloads import ColocatedWorkload, Masim
 
     workload = ColocatedWorkload(
@@ -120,6 +126,8 @@ def colocation_digest():
             ),
         ]
     )
+    if trace_store is not None:
+        workload = trace_store.replay(workload)
     result = run_policy(
         workload,
         make_policy("PACT"),
@@ -161,3 +169,46 @@ class TestGoldenDigests:
             config=MachineConfig(thp=params["thp"]),
         )
         assert content_hash(request.fingerprint()) == expected
+
+
+@pytest.fixture(scope="module")
+def trace_store():
+    """One in-memory trace store shared across the replay matrix.
+
+    Each distinct workload is recorded exactly once; the 18-scenario
+    matrix then replays those recordings, which is precisely the
+    record-once/replay-many contract the digests must pin.
+    """
+    from repro.workloads.tracestore import TraceStore
+
+    return TraceStore()
+
+
+class TestGoldenDigestsReplayed:
+    """The same matrix through record -> replay: bit-identical or bust."""
+
+    @pytest.mark.parametrize(
+        "policy,workload,thp,contender", sorted(GOLDEN_DIGESTS), ids=lambda v: str(v)
+    )
+    def test_replay_bit_identical(self, policy, workload, thp, contender, trace_store):
+        expected = GOLDEN_DIGESTS[(policy, workload, thp, contender)]
+        assert (
+            result_digest(policy, workload, thp, contender, trace_store=trace_store)
+            == expected
+        )
+
+    def test_chmu_sampler_replay_bit_identical(self, trace_store):
+        assert chmu_digest(trace_store=trace_store) == GOLDEN_CHMU_DIGEST
+
+    def test_colocation_traced_replay_bit_identical(self, trace_store):
+        assert colocation_digest(trace_store=trace_store) == GOLDEN_COLOCATION_DIGEST
+
+    def test_store_records_each_workload_once(self, trace_store):
+        # Re-running a scenario must hit the existing recording, not
+        # record again: record-once is what makes replay worth having.
+        before = trace_store.stats()
+        result_digest("PACT", "gups", False, 0, trace_store=trace_store)
+        result_digest("NoTier", "gups", False, 0, trace_store=trace_store)
+        after = trace_store.stats()
+        assert after["records"] <= before["records"] + 1
+        assert after["memory_hits"] >= before["memory_hits"] + 1
