@@ -11,7 +11,6 @@ it cannot tell which tier, or which pages, the parallelism comes from.
 from __future__ import annotations
 
 from repro.baselines.colloid import ColloidPolicy
-from repro.mem.page import Tier
 from repro.sim.policy_api import Decision, Observation
 
 
@@ -30,18 +29,15 @@ class AltoPolicy(ColloidPolicy):
         self._base_batch = self.max_batch_fraction
 
     def observe(self, obs: Observation) -> Decision:
-        # System-wide MLP: miss-weighted across both tiers, as a single
+        # System-wide MLP: miss-weighted across all tiers, as a single
         # offcore counter would report it.
-        fast_m = obs.perf.llc_misses.get(Tier.FAST, 0.0)
-        slow_m = obs.perf.llc_misses.get(Tier.SLOW, 0.0)
-        total = fast_m + slow_m
-        if total > 0:
-            mlp = (
-                fast_m * obs.tor_mlp.get(Tier.FAST, 1.0)
-                + slow_m * obs.tor_mlp.get(Tier.SLOW, 1.0)
-            ) / total
-        else:
-            mlp = 1.0
+        total = 0.0
+        weighted = 0.0
+        for tier in obs.tor_mlp:
+            misses = obs.perf.llc_misses.get(tier, 0.0)
+            total += misses
+            weighted += misses * obs.tor_mlp.get(tier, 1.0)
+        mlp = weighted / total if total > 0 else 1.0
         throttle = max(min(self.mlp_reference / mlp, 1.0), self.min_throttle)
         self.gain = self._base_gain * throttle
         self.max_batch_fraction = self._base_batch * throttle

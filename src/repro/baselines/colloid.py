@@ -39,17 +39,21 @@ class ColloidPolicy(TieringPolicy):
         self.watermark = watermark
 
     def _imbalance(self, obs: Observation) -> float:
-        """Relative latency gap between tiers, >0 when slow is slower."""
+        """Relative latency gap between tiers, >0 when slow is slower.
+
+        On more than two tiers "slow" is the miss-weighted loaded
+        latency of every tier below tier 0.
+        """
         lat = obs.perf.effective_latency_cycles
         fast = lat.get(Tier.FAST, 0.0)
-        slow = lat.get(Tier.SLOW, 0.0)
+        slow = obs.lower_latency_cycles()
         if fast <= 0.0:
             return 0.0
         return (slow - fast) / fast
 
     def observe(self, obs: Observation) -> Decision:
         imbalance = self._imbalance(obs)
-        slow_misses = obs.perf.llc_misses.get(Tier.SLOW, 0.0)
+        slow_misses = obs.lower_misses()
         if imbalance <= 0.0 or slow_misses <= 0.0 or obs.pebs.pages.size == 0:
             return Decision.none()
         # Traffic-proportional control: move enough of the observed hot
@@ -60,7 +64,7 @@ class ColloidPolicy(TieringPolicy):
             return Decision.none()
         pages = obs.pebs.pages
         counts = obs.pebs.counts
-        in_slow = obs.memory.tier_of(pages) == int(Tier.SLOW)
+        in_slow = obs.memory.tier_of(pages) >= 1
         pages, counts = pages[in_slow], counts[in_slow]
         if pages.size == 0:
             return Decision.none()

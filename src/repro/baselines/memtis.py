@@ -61,7 +61,7 @@ class MemtisPolicy(TieringPolicy):
         pages = obs.pebs.pages
         if pages.size == 0:
             return Decision.none()
-        in_slow = obs.memory.tier_of(pages) == int(Tier.SLOW)
+        in_slow = obs.memory.tier_of(pages) >= 1
         slow_pages = pages[in_slow]
         if slow_pages.size == 0:
             return Decision.none()

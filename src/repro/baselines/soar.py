@@ -39,8 +39,8 @@ class _ObjectProfiler(TieringPolicy):
         self.coefficients = coefficients
 
     def observe(self, obs: Observation) -> Decision:
-        misses = obs.perf.llc_misses.get(Tier.SLOW, 0.0)
-        mlp = obs.tor_mlp.get(Tier.SLOW, 1.0)
+        misses = obs.lower_misses()
+        mlp = obs.lower_mlp()
         if misses > 0 and obs.pebs.pages.size:
             stalls = self.coefficients.tier_stalls(misses, mlp)
             attributed = attribute_stalls(stalls, obs.pebs.counts)

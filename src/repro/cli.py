@@ -41,7 +41,8 @@ from repro.exp import report as exp_report
 from repro.exp.cache import ResultStore, reset_default_store, set_default_store
 from repro.exp.runner import run_experiment
 from repro.exp.spec import ExperimentSpec, WorkloadSpec
-from repro.mem.page import Tier
+from repro.mem.page import Tier, tier_label
+from repro.mem.topology import DEMOTION_MODES, TOPOLOGY_NAMES, make_topology
 from repro.obs import DEFAULT_TRACE_CAPACITY, Observability
 from repro.perf import harness as perf_harness
 from repro.sim import traceio
@@ -190,6 +191,16 @@ def _common_args(p: argparse.ArgumentParser, cache_dir_default: Optional[str] = 
     p.add_argument("--thp", action="store_true", help="2MB transparent huge pages")
     p.add_argument("--pebs-rate", type=int, default=400, help="PEBS 1-in-N sampling rate")
     p.add_argument(
+        "--topology", default=None, choices=TOPOLOGY_NAMES,
+        help="tier hierarchy (default: the paper's DRAM/CXL pair); "
+        "N-tier ratios take N parts, e.g. --ratio 1:4:16",
+    )
+    p.add_argument(
+        "--demotion", default="through", choices=DEMOTION_MODES,
+        help="multi-hop demotion routing: 'through' cascades one tier "
+        "down per hop, 'direct' sends victims straight to the bottom tier",
+    )
+    p.add_argument(
         "--jobs", type=int, default=None,
         help="worker processes for cache misses (default: REPRO_JOBS or 1; 0 = all cores)",
     )
@@ -218,7 +229,15 @@ def _common_args(p: argparse.ArgumentParser, cache_dir_default: Optional[str] = 
 
 
 def _config(args) -> MachineConfig:
-    return MachineConfig(thp=getattr(args, "thp", False), pebs_rate=getattr(args, "pebs_rate", 400))
+    topology = None
+    name = getattr(args, "topology", None)
+    if name is not None:
+        topology = make_topology(name, demotion=getattr(args, "demotion", "through"))
+    return MachineConfig(
+        thp=getattr(args, "thp", False),
+        pebs_rate=getattr(args, "pebs_rate", 400),
+        topology=topology,
+    )
 
 
 @contextlib.contextmanager
@@ -273,9 +292,18 @@ def cmd_run(args, out) -> int:
         ["windows", result.windows],
         ["pages promoted", format_count(result.promoted)],
         ["pages demoted", format_count(result.demoted)],
-        ["slow-tier LLC misses", format_count(result.tier_misses[Tier.SLOW])],
-        ["fast-tier LLC misses", format_count(result.tier_misses[Tier.FAST])],
     ]
+    if len(result.tier_misses) == 2:
+        rows.append(["slow-tier LLC misses", format_count(result.tier_misses[Tier.SLOW])])
+        rows.append(["fast-tier LLC misses", format_count(result.tier_misses[Tier.FAST])])
+    else:
+        for tier in sorted(result.tier_misses, key=int):
+            rows.append(
+                [
+                    f"{tier_label(int(tier)).lower()} LLC misses",
+                    format_count(result.tier_misses[tier]),
+                ]
+            )
     print(f"{args.workload} under {args.policy} at {args.ratio}:", file=out)
     print(format_table(["metric", "value"], rows), file=out)
     return 0
@@ -543,6 +571,7 @@ def cmd_list(args, out) -> int:  # noqa: ARG001
     print("workloads: " + ", ".join(ALL_WORKLOADS), file=out)
     print("policies:  " + ", ".join(ALL_POLICIES + ["Frequency", "CXL"]), file=out)
     print("ratios:    " + ", ".join(PAPER_RATIOS), file=out)
+    print("topologies: " + ", ".join(TOPOLOGY_NAMES), file=out)
     return 0
 
 

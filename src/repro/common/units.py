@@ -96,5 +96,10 @@ NUMA_SPEC = TierSpec("numa", latency_ns=140.0, bandwidth_gbps=32.0)
 #: Emulated CXL memory (remote node with throttled uncore), 2.1x DRAM latency.
 CXL_SPEC = TierSpec("cxl", latency_ns=190.0, bandwidth_gbps=30.0)
 
+#: Memory-semantic NVMe/flash tier (CXL-attached SSD class devices):
+#: microsecond-scale loads, single-digit GB/s.  Used by the N-tier
+#: topologies; not part of the paper's two-tier testbed.
+NVME_SPEC = TierSpec("nvme", latency_ns=2_000.0, bandwidth_gbps=6.0)
+
 #: The three latency configurations used in the Fig. 2 model study.
 LATENCY_CONFIGS = (DRAM_SPEC, NUMA_SPEC, CXL_SPEC)

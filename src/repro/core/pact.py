@@ -210,7 +210,7 @@ class PactPolicy(TieringPolicy):
         )
         top_mask = self.binner.top_bin_mask(values)
         self._last_top_occupancy = int(top_mask.sum())
-        in_slow = obs.memory.tier_of(tracked) == int(Tier.SLOW)
+        in_slow = obs.memory.tier_of(tracked) >= 1
         cooled_down = (
             obs.window - self._promoted_at[tracked] > self.promotion_cooldown_windows
         )

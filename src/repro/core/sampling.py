@@ -24,7 +24,6 @@ import numpy as np
 from repro.core.cooling import CoolingConfig
 from repro.core.pac import PacModelCoefficients, attribute_stalls
 from repro.core.tracker import PacTracker
-from repro.mem.page import Tier
 from repro.sim.policy_api import Observation
 
 
@@ -88,10 +87,13 @@ class PacSampler:
     def ingest(self, obs: Observation) -> bool:
         """Fold one window in; True when a full period was attributed."""
         acc = self._acc
-        acc.slow_misses += obs.perf.llc_misses.get(Tier.SLOW, 0.0)
-        acc.tor_occupancy += obs.tor_occupancy_delta.get(Tier.SLOW, 0.0)
-        acc.tor_busy += obs.tor_busy_delta.get(Tier.SLOW, 0.0)
-        acc.slow_bytes += obs.perf.bytes.get(Tier.SLOW, 0.0)
+        # "Slow" aggregates every tier below tier 0 (one term on the
+        # default pair; per-tier adds in nearest-first order beyond).
+        for tier in obs.lower_tiers:
+            acc.slow_misses += obs.perf.llc_misses.get(tier, 0.0)
+            acc.tor_occupancy += obs.tor_occupancy_delta.get(tier, 0.0)
+            acc.tor_busy += obs.tor_busy_delta.get(tier, 0.0)
+            acc.slow_bytes += obs.perf.bytes.get(tier, 0.0)
         acc.cycles += obs.window_cycles
         if obs.pebs.pages.size:
             acc.pages.append(obs.pebs.pages)

@@ -30,7 +30,7 @@ import tempfile
 from pathlib import Path
 from typing import Any, Dict, Optional
 
-from repro.mem.page import Tier
+from repro.mem.page import tier_from_label, tier_label
 from repro.sim.metrics import RunResult, WindowRecord
 
 #: Schema/behaviour version of cached entries.  v2: simulator loop
@@ -53,6 +53,12 @@ def canonical(obj: Any) -> Any:
 
     Dataclasses are tagged with their class name so two configs of
     different types never alias; enums collapse to ``Class.NAME``.
+
+    A dataclass may name fields in a ``_canonical_omit_none`` class
+    attribute: those are dropped from the document while ``None``, so a
+    later-added optional field (e.g. ``MachineConfig.topology``) does
+    not change the fingerprint of configs that never set it -- existing
+    cache keys survive the field's introduction.
     """
     if obj is None or isinstance(obj, (bool, int, str)):
         return obj
@@ -62,8 +68,12 @@ def canonical(obj: Any) -> Any:
         return f"{type(obj).__name__}.{obj.name}"
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         doc = {"__class__": type(obj).__qualname__}
+        omit_none = getattr(type(obj), "_canonical_omit_none", ())
         for f in dataclasses.fields(obj):
-            doc[f.name] = canonical(getattr(obj, f.name))
+            value = getattr(obj, f.name)
+            if value is None and f.name in omit_none:
+                continue
+            doc[f.name] = canonical(value)
         return doc
     if isinstance(obj, dict):
         return {str(k): canonical(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
@@ -175,7 +185,7 @@ def result_to_dict(result: RunResult) -> Dict[str, Any]:
         "migration_cost_cycles": result.migration_cost_cycles,
         "total_stall_cycles": result.total_stall_cycles,
         "total_misses": result.total_misses,
-        "tier_misses": {tier.name: float(v) for tier, v in result.tier_misses.items()},
+        "tier_misses": {tier_label(tier): float(v) for tier, v in result.tier_misses.items()},
         "empty_windows": result.empty_windows,
         "trace": (
             None if result.trace is None else [_record_to_dict(r) for r in result.trace]
@@ -199,7 +209,7 @@ def result_from_dict(doc: Dict[str, Any]) -> RunResult:
         migration_cost_cycles=doc["migration_cost_cycles"],
         total_stall_cycles=doc["total_stall_cycles"],
         total_misses=doc["total_misses"],
-        tier_misses={Tier[name]: v for name, v in doc["tier_misses"].items()},
+        tier_misses={tier_from_label(name): v for name, v in doc["tier_misses"].items()},
         empty_windows=doc.get("empty_windows", 0),
         trace=None if trace is None else [WindowRecord(**rec) for rec in trace],
         workload_metrics=doc.get("workload_metrics") or {},

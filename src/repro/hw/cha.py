@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.common.units import CACHE_LINE_SIZE
 from repro.hw.stall import GroupTierShare, ShareBatch
-from repro.mem.page import Tier
+from repro.mem.page import Tier, tier_key
 
 #: Default relative standard deviation of counter measurement noise.
 DEFAULT_COUNTER_NOISE = 0.01
@@ -50,17 +50,19 @@ class TorSnapshot:
 
 
 class ChaTorCounters:
-    """Cumulative TOR occupancy counters for both tiers."""
+    """Cumulative TOR occupancy counters, one pair per tier."""
 
     def __init__(
         self,
         noise: float = DEFAULT_COUNTER_NOISE,
         rng: Optional[np.random.Generator] = None,
+        num_tiers: int = 2,
     ):
         self.noise = noise
         self._rng = rng if rng is not None else np.random.default_rng(0)
-        self._occupancy = {Tier.FAST: 0.0, Tier.SLOW: 0.0}
-        self._busy = {Tier.FAST: 0.0, Tier.SLOW: 0.0}
+        tiers = [tier_key(t) for t in range(num_tiers)]
+        self._occupancy = {t: 0.0 for t in tiers}
+        self._busy = {t: 0.0 for t in tiers}
 
     def advance(self, shares: Sequence[GroupTierShare]) -> None:
         """Account one window's traffic into the cumulative counters."""

@@ -15,7 +15,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.hw.stall import WindowHardware
-from repro.mem.page import Tier
+from repro.mem.page import Tier, tier_key
 
 DEFAULT_PERF_NOISE = 0.01
 
@@ -63,14 +63,20 @@ class PerfDelta:
 class PerfCounters:
     """Cumulative processor counters, advanced once per window."""
 
-    def __init__(self, noise: float = DEFAULT_PERF_NOISE, rng: Optional[np.random.Generator] = None):
+    def __init__(
+        self,
+        noise: float = DEFAULT_PERF_NOISE,
+        rng: Optional[np.random.Generator] = None,
+        num_tiers: int = 2,
+    ):
         self.noise = noise
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self._cycles = 0.0
-        self._llc_misses = {Tier.FAST: 0.0, Tier.SLOW: 0.0}
-        self._stalls = {Tier.FAST: 0.0, Tier.SLOW: 0.0}
-        self._bytes = {Tier.FAST: 0.0, Tier.SLOW: 0.0}
-        self._latency = {Tier.FAST: 0.0, Tier.SLOW: 0.0}
+        tiers = [tier_key(t) for t in range(num_tiers)]
+        self._llc_misses = {t: 0.0 for t in tiers}
+        self._stalls = {t: 0.0 for t in tiers}
+        self._bytes = {t: 0.0 for t in tiers}
+        self._latency = {t: 0.0 for t in tiers}
 
     def advance(self, outcome: WindowHardware) -> None:
         """Account one solved window into the cumulative counters."""

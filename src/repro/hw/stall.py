@@ -42,7 +42,7 @@ import numpy as np
 
 from repro.common.units import CACHE_LINE_SIZE, CPU_FREQ_GHZ, TierSpec, ns_to_cycles
 from repro.hw.access import AccessGroup
-from repro.mem.page import Tier
+from repro.mem.page import Tier, tier_key
 
 #: Demand-miss traffic is accompanied by prefetch traffic; this factor
 #: scales miss bytes to total bytes on the memory link.
@@ -107,6 +107,7 @@ class ShareBatch:
 
     __slots__ = (
         "n",
+        "num_tiers",
         "group_index",
         "tier_codes",
         "tiers",
@@ -138,12 +139,15 @@ class ShareBatch:
         labels: List[str],
         unit_stall_cycles: np.ndarray,
         stall_scratch: np.ndarray,
+        num_tiers: int = 2,
     ):
         self.n = n
+        self.num_tiers = num_tiers
         self.group_index = group_index
         self.tier_codes = tier_codes
-        #: Per-row :class:`Tier` enums (consumers key dicts by tier).
-        self.tiers = [Tier(int(c)) for c in tier_codes]
+        #: Per-row tier keys (:class:`Tier` enums for tiers 0/1, plain
+        #: ints beyond -- consumers key dicts by tier).
+        self.tiers = [tier_key(int(c)) for c in tier_codes]
         self.mlp = mlp
         self.load_fraction = load_fraction
         #: Per-row total miss count (precomputed once per window; the
@@ -159,10 +163,9 @@ class ShareBatch:
         self.unit_stall_cycles = unit_stall_cycles
         #: Solver scratch for per-row stall weights (reused each iteration).
         self.stall_scratch = stall_scratch
-        #: ``(fast_misses, slow_misses)`` totals, indexed by ``int(tier)``.
-        self.tier_misses = (
-            int(misses[tier_codes == int(Tier.FAST)].sum()),
-            int(misses[tier_codes == int(Tier.SLOW)].sum()),
+        #: Per-tier miss totals, indexed by ``int(tier)``.
+        self.tier_misses = tuple(
+            int(misses[tier_codes == code].sum()) for code in range(num_tiers)
         )
         self._materialised: Optional[List[GroupTierShare]] = None
 
@@ -252,7 +255,7 @@ class WindowHardware:
 
 
 def split_groups_legacy(
-    groups: Sequence[AccessGroup], placement: np.ndarray
+    groups: Sequence[AccessGroup], placement: np.ndarray, num_tiers: int = 2
 ) -> List[GroupTierShare]:
     """The original object-per-share split (exactness reference).
 
@@ -264,14 +267,14 @@ def split_groups_legacy(
     shares: List[GroupTierShare] = []
     for gi, group in enumerate(groups):
         tiers = placement[group.pages]
-        for tier in (Tier.FAST, Tier.SLOW):
-            mask = tiers == int(tier)
+        for code in range(num_tiers):
+            mask = tiers == code
             if not mask.any():
                 continue
             shares.append(
                 GroupTierShare(
                     group_index=gi,
-                    tier=tier,
+                    tier=tier_key(code),
                     pages=group.pages[mask],
                     counts=group.counts[mask],
                     mlp=group.mlp,
@@ -287,13 +290,21 @@ class StallModel:
 
     def __init__(
         self,
-        fast_spec: TierSpec,
-        slow_spec: TierSpec,
+        fast_spec: Union[TierSpec, Sequence[TierSpec]],
+        slow_spec: Optional[TierSpec] = None,
         freq_ghz: float = CPU_FREQ_GHZ,
         prefetch_traffic_factor: float = DEFAULT_PREFETCH_TRAFFIC_FACTOR,
         obs=None,
     ):
-        self.spec = {Tier.FAST: fast_spec, Tier.SLOW: slow_spec}
+        # Either the legacy (fast_spec, slow_spec) pair or an ordered
+        # spec sequence for an N-tier topology as the first argument.
+        if isinstance(fast_spec, (list, tuple)):
+            specs = list(fast_spec)
+        else:
+            specs = [fast_spec, slow_spec]
+        #: Per-tier specs, indexed by tier code (Tier enums work too).
+        self.spec: List[TierSpec] = specs
+        self.num_tiers = len(specs)
         self.freq_ghz = freq_ghz
         self.prefetch_traffic_factor = prefetch_traffic_factor
         #: Optional :class:`repro.obs.Observability` sink for the
@@ -342,7 +353,7 @@ class StallModel:
             self._page_scratch = np.empty(total, dtype=np.int64)
             self._count_scratch = np.empty(total, dtype=np.int64)
             self._mask_scratch = np.empty(total, dtype=bool)
-        max_rows = 2 * n_groups
+        max_rows = self.num_tiers * n_groups
         if self._row_capacity < max_rows or not self._row_cols:
             self._row_capacity = max(max_rows, 2 * self._row_capacity, 8)
             cap = self._row_capacity
@@ -365,7 +376,7 @@ class StallModel:
         for gi, group in enumerate(groups):
             size = group.pages.size
             sub = tiers_all[start : start + size]
-            for tier_code in (int(Tier.FAST), int(Tier.SLOW)):
+            for tier_code in range(self.num_tiers):
                 mask = self._mask_scratch[:size]
                 np.equal(sub, tier_code, out=mask)
                 k = int(np.count_nonzero(mask))
@@ -404,6 +415,7 @@ class StallModel:
             labels=labels,
             unit_stall_cycles=cols["unit"][:row],
             stall_scratch=cols["stall_w"][:row],
+            num_tiers=self.num_tiers,
         )
 
     # -- the fixed point -----------------------------------------------------
@@ -446,7 +458,7 @@ class StallModel:
         thus the same rounding) as the legacy per-share loop.
         """
         extra_bytes = extra_bytes or {}
-        loads = {t: TierLoad(tier=t) for t in (Tier.FAST, Tier.SLOW)}
+        loads = {tier_key(t): TierLoad(tier=tier_key(t)) for t in range(self.num_tiers)}
         for tier, load in loads.items():
             load.misses = batch.tier_misses[int(tier)]
             demand_bytes = load.misses * CACHE_LINE_SIZE
@@ -456,7 +468,7 @@ class StallModel:
         codes = batch.tier_codes
         unit = batch.unit_stall_cycles
         weights = batch.stall_scratch
-        lat = np.empty(2, dtype=np.float64)
+        lat = np.empty(self.num_tiers, dtype=np.float64)
 
         duration = max(compute_cycles + extra_cycles, 1.0)
         residual = 0.0
@@ -473,10 +485,13 @@ class StallModel:
             np.take(lat, codes, out=unit)
             np.divide(unit, batch.mlp, out=unit)
             np.multiply(batch.misses_f, unit, out=weights)
-            tier_stalls = np.bincount(codes, weights=weights, minlength=2)
-            loads[Tier.FAST].stall_cycles = float(tier_stalls[int(Tier.FAST)])
-            loads[Tier.SLOW].stall_cycles = float(tier_stalls[int(Tier.SLOW)])
-            total_stalls = float(tier_stalls[0]) + float(tier_stalls[1])
+            tier_stalls = np.bincount(codes, weights=weights, minlength=self.num_tiers)
+            # Ordered scalar accumulation: for two tiers this is exactly
+            # the historical float(fast) + float(slow) sum.
+            total_stalls = 0.0
+            for tier, load in loads.items():
+                load.stall_cycles = float(tier_stalls[int(tier)])
+                total_stalls += load.stall_cycles
             new_duration = max(compute_cycles + extra_cycles + total_stalls, 1.0)
             residual = abs(new_duration - duration) / new_duration
             # Damped update stabilises the few pathological cases where
@@ -488,7 +503,7 @@ class StallModel:
             # still was from its fixed point (loop-health gauge).
             self._obs.gauge("stall/fixed_point_residual", residual)
         np.divide(batch.misses_f, batch.mlp, out=weights)
-        inv = np.bincount(codes, weights=weights, minlength=2)
+        inv = np.bincount(codes, weights=weights, minlength=self.num_tiers)
         for tier, load in loads.items():
             total = batch.tier_misses[int(tier)]
             if total == 0:
@@ -512,8 +527,10 @@ class StallModel:
     ) -> WindowHardware:
         """Legacy ordered-accumulation fixed point over share objects."""
         extra_bytes = extra_bytes or {}
-        loads = {t: TierLoad(tier=t) for t in (Tier.FAST, Tier.SLOW)}
-        by_tier: Dict[Tier, List[GroupTierShare]] = {Tier.FAST: [], Tier.SLOW: []}
+        loads = {tier_key(t): TierLoad(tier=tier_key(t)) for t in range(self.num_tiers)}
+        by_tier: Dict[Tier, List[GroupTierShare]] = {
+            tier_key(t): [] for t in range(self.num_tiers)
+        }
         share_misses = [share.misses for share in shares]
         for share, misses in zip(shares, share_misses):
             loads[share.tier].misses += misses

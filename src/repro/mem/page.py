@@ -16,7 +16,14 @@ from repro.common.units import PAGES_PER_HUGE_PAGE
 
 
 class Tier(IntEnum):
-    """Memory tier a page may reside in."""
+    """The two canonical tier indices of the default DRAM/CXL pair.
+
+    Tier indices are plain integers ordered fast-to-slow; the enum names
+    the first two so existing two-tier code (and serialised results)
+    keep their FAST/SLOW vocabulary.  N-tier topologies address tiers
+    beyond index 1 as bare ints -- ``IntEnum`` hashes and compares as
+    its value, so enum and int keys interoperate in dicts and arrays.
+    """
 
     FAST = 0
     SLOW = 1
@@ -24,6 +31,36 @@ class Tier(IntEnum):
 
 #: Placement value for pages that have not been touched yet.
 UNALLOCATED = -1
+
+
+def tier_key(index: int):
+    """Canonical dict/list key for a tier index.
+
+    Indices 0 and 1 map to the :class:`Tier` enums (so two-tier
+    consumers and serialisers see exactly the objects they always did);
+    deeper tiers stay plain ints.
+    """
+    index = int(index)
+    if 0 <= index <= 1:
+        return Tier(index)
+    return index
+
+
+def tier_label(index: int) -> str:
+    """Stable serialisation label for a tier index (``FAST``/``SLOW``/``TIER2``...)."""
+    index = int(index)
+    if 0 <= index <= 1:
+        return Tier(index).name
+    return f"TIER{index}"
+
+
+def tier_from_label(label: str):
+    """Inverse of :func:`tier_label`."""
+    if label in Tier.__members__:
+        return Tier[label]
+    if label.startswith("TIER"):
+        return int(label[4:])
+    raise ValueError(f"unknown tier label {label!r}")
 
 #: log2(pages per 2MB huge page) -- used to shift 4KB page ids to huge ids.
 HUGE_SHIFT = int(np.log2(PAGES_PER_HUGE_PAGE))

@@ -1,14 +1,17 @@
-"""Two-tier memory with placement tracking, first-touch allocation, and LRU.
+"""N-tier memory with placement tracking, first-touch allocation, and LRU.
 
-``TieredMemory`` models the fast tier (local DRAM) and slow tier
-(NUMA/CXL) of the paper's testbed.  It owns:
+``TieredMemory`` models an ordered hierarchy of memory tiers (tier 0 is
+the fastest; the paper's testbed is the two-tier DRAM/CXL special
+case).  It owns:
 
-* per-page placement (fast / slow / unallocated),
-* per-tier capacity accounting,
+* per-page placement (tier index or unallocated),
+* per-tier capacity accounting -- including *fractional* page-frame
+  accounting for compressed tiers, where a page with compression ratio
+  ``r`` consumes ``1/r`` physical frames,
 * an approximate LRU clock per page (fed by the access stream, standing
   in for the kernel's (MG)LRU lists that PACT's eager demotion consults),
-* first-touch allocation (fill the fast tier, then spill to slow), which
-  is also the paper's NoTier baseline.
+* first-touch allocation (fill the preferred tier, then spill down the
+  hierarchy), which is also the paper's NoTier baseline.
 
 Tier accounting is incremental: mutators (``allocate_first_touch``,
 ``move``, ``touch``) maintain per-tier resident counts and activity sums
@@ -19,17 +22,22 @@ call.  The cached answers are bit-identical to the full scans they
 replace (same sorted page arrays, same ``np.mean`` reduction); setting
 ``REPRO_DEBUG_ACCOUNTING=1`` cross-checks every mutation against a
 from-scratch scan.
+
+The two-tier constructor signature (``fast_capacity_pages`` /
+``slow_capacity_pages`` / ``fast_spec`` / ``slow_spec``) is preserved
+verbatim, and every operation reduces to the exact pre-tier-graph
+arithmetic when two tiers are configured -- the golden digests pin this.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.common.units import TierSpec
-from repro.mem.page import Tier, UNALLOCATED
+from repro.mem.page import Tier, UNALLOCATED, tier_label
 
 #: Environment switch: cross-check incremental accounting against full
 #: placement scans after every mutation (slow; meant for tests).
@@ -50,26 +58,51 @@ class TieredMemory:
     def __init__(
         self,
         footprint_pages: int,
-        fast_capacity_pages: int,
-        slow_capacity_pages: int,
-        fast_spec: TierSpec,
-        slow_spec: TierSpec,
+        fast_capacity_pages: Optional[int] = None,
+        slow_capacity_pages: Optional[int] = None,
+        fast_spec: Optional[TierSpec] = None,
+        slow_spec: Optional[TierSpec] = None,
         debug_accounting: Optional[bool] = None,
+        *,
+        capacities: Optional[Sequence[int]] = None,
+        specs: Optional[Sequence[TierSpec]] = None,
+        page_frame_costs: Optional[Sequence[Optional[np.ndarray]]] = None,
     ):
         if footprint_pages <= 0:
             raise ValueError("footprint must be positive")
-        if fast_capacity_pages < 0 or slow_capacity_pages < 0:
+        if capacities is None:
+            # Legacy two-tier construction.
+            capacities = [fast_capacity_pages, slow_capacity_pages]
+            specs = [fast_spec, slow_spec]
+        capacities = [int(c) for c in capacities]
+        specs = list(specs)
+        if len(capacities) < 2 or len(capacities) != len(specs):
+            raise ValueError("need one spec per tier and at least two tiers")
+        if any(c < 0 for c in capacities):
             raise ValueError("capacities must be non-negative")
-        if fast_capacity_pages + slow_capacity_pages < footprint_pages:
+        # Conservative fit check: a compressed page never grows, so each
+        # tier holds at least ``capacity`` pages whatever the ratios.
+        if sum(capacities) < footprint_pages:
             raise CapacityError(
-                "tier capacities (%d + %d pages) cannot hold footprint (%d pages)"
-                % (fast_capacity_pages, slow_capacity_pages, footprint_pages)
+                "tier capacities (%s pages) cannot hold footprint (%d pages)"
+                % (" + ".join(str(c) for c in capacities), footprint_pages)
             )
         self.footprint_pages = footprint_pages
-        self.capacity = {Tier.FAST: fast_capacity_pages, Tier.SLOW: slow_capacity_pages}
-        self.spec = {Tier.FAST: fast_spec, Tier.SLOW: slow_spec}
+        self.num_tiers = len(capacities)
+        self.capacity: List[int] = capacities
+        self.spec: List[TierSpec] = specs
+        #: Per-tier physical frames consumed per stored page (None = one
+        #: frame per page; an array models a compressed tier's per-page
+        #: compressibility).
+        if page_frame_costs is None:
+            page_frame_costs = [None] * self.num_tiers
+        self._page_frame_cost: List[Optional[np.ndarray]] = list(page_frame_costs)
+        if len(self._page_frame_cost) != self.num_tiers:
+            raise ValueError("need one page-frame cost entry per tier")
+        #: Fractional frames used, tracked only for compressed tiers.
+        self._frames_used: List[float] = [0.0] * self.num_tiers
         self.placement = np.full(footprint_pages, UNALLOCATED, dtype=np.int8)
-        self.used = {Tier.FAST: 0, Tier.SLOW: 0}
+        self.used: List[int] = [0] * self.num_tiers
         #: Window index of each page's most recent access (LRU clock).
         self.last_touch = np.full(footprint_pages, -1, dtype=np.int64)
         #: Decayed per-page access intensity -- the simulator's stand-in
@@ -93,11 +126,11 @@ class TieredMemory:
         #: Bumped whenever ``activity`` changes (touch, lazy decay).
         self._activity_gen = 0
         #: O(delta)-maintained per-tier sum of resident pages' activity.
-        self._activity_sum = {Tier.FAST: 0.0, Tier.SLOW: 0.0}
-        #: tier -> (placement generation, sorted resident page ids).
-        self._resident_cache: Dict[Tier, Tuple[int, np.ndarray]] = {}
-        #: tier -> ((placement gen, activity gen), mean activity).
-        self._mean_cache: Dict[Tier, Tuple[Tuple[int, int], float]] = {}
+        self._activity_sum: List[float] = [0.0] * self.num_tiers
+        #: tier index -> (placement generation, sorted resident page ids).
+        self._resident_cache: Dict[int, Tuple[int, np.ndarray]] = {}
+        #: tier index -> ((placement gen, activity gen), mean activity).
+        self._mean_cache: Dict[int, Tuple[Tuple[int, int], float]] = {}
         #: Reusable scratch mask for ``lru_victims`` protection.
         self._protect_scratch = np.zeros(footprint_pages, dtype=bool)
         if debug_accounting is None:
@@ -106,8 +139,33 @@ class TieredMemory:
 
     # -- queries ------------------------------------------------------------
 
+    @property
+    def tiers(self) -> range:
+        """Tier indices, fastest first."""
+        return range(self.num_tiers)
+
     def free_pages(self, tier: Tier) -> int:
-        return self.capacity[tier] - self.used[tier]
+        """Whole pages the tier can still admit.
+
+        Exact for uncompressed tiers.  For a compressed tier this is a
+        conservative lower bound (free frames at one frame per page);
+        the mutators admit by exact per-page frame cost instead.
+        """
+        cost = self._page_frame_cost[tier]
+        if cost is None:
+            return self.capacity[tier] - self.used[tier]
+        return int(np.floor(self.capacity[tier] - self._frames_used[tier]))
+
+    def frames_used(self, tier: Tier) -> float:
+        """Physical frames occupied in ``tier`` (== pages when uncompressed)."""
+        if self._page_frame_cost[tier] is None:
+            return float(self.used[tier])
+        return self._frames_used[tier]
+
+    def occupancy_fraction(self, tier: Tier) -> float:
+        """Fraction of the tier's physical frames in use."""
+        cap = self.capacity[tier]
+        return self.frames_used(tier) / cap if cap > 0 else 0.0
 
     @property
     def fully_allocated(self) -> bool:
@@ -119,7 +177,7 @@ class TieredMemory:
         footprint, ``allocate_first_touch`` is a guaranteed no-op and
         callers may skip computing its page set entirely.
         """
-        return self.used[Tier.FAST] + self.used[Tier.SLOW] >= self.footprint_pages
+        return sum(self.used) >= self.footprint_pages
 
     def tier_of(self, pages: np.ndarray) -> np.ndarray:
         """Placement of each page id (UNALLOCATED for untouched pages)."""
@@ -143,7 +201,7 @@ class TieredMemory:
 
     def resident_fraction(self, tier: Tier) -> float:
         """Fraction of the allocated footprint resident in ``tier``."""
-        allocated = self.used[Tier.FAST] + self.used[Tier.SLOW]
+        allocated = sum(self.used)
         if allocated == 0:
             return 0.0
         return self.used[tier] / allocated
@@ -161,15 +219,31 @@ class TieredMemory:
 
     # -- allocation and access tracking --------------------------------------
 
+    def _admit_count(self, tier: int, pages: np.ndarray) -> int:
+        """How many of ``pages`` (in order) the tier can still admit."""
+        cost = self._page_frame_cost[tier]
+        if cost is None:
+            return max(min(self.capacity[tier] - self.used[tier], pages.size), 0)
+        free = self.capacity[tier] - self._frames_used[tier]
+        if free <= 0.0 or pages.size == 0:
+            return 0
+        cum = np.cumsum(cost[pages])
+        return int(np.searchsorted(cum, free, side="right"))
+
+    def _charge_frames(self, tier: int, pages: np.ndarray, sign: float) -> None:
+        cost = self._page_frame_cost[tier]
+        if cost is not None and pages.size:
+            self._frames_used[tier] += sign * float(cost[pages].sum())
+
     def allocate_first_touch(
         self, pages: np.ndarray, prefer: Tier = Tier.FAST
     ) -> "tuple[int, int]":
         """Allocate any unallocated pages, filling ``prefer`` first.
 
-        Returns (pages placed in preferred tier, pages spilled to the
-        other tier).  This mirrors first-touch NUMA allocation: the fast
-        node absorbs allocations until full, after which pages land in
-        the slow node.
+        Returns (pages placed in preferred tier, pages spilled to other
+        tiers).  This mirrors first-touch NUMA allocation: the preferred
+        node absorbs allocations until full, after which pages spill to
+        the remaining tiers in hierarchy order.
         """
         pages = np.asarray(pages, dtype=np.int64)
         fresh = pages[self.placement[pages] == UNALLOCATED]
@@ -179,26 +253,35 @@ class TieredMemory:
         # order decides which pages land in the preferred tier.
         _, first_idx = np.unique(fresh, return_index=True)
         fresh = fresh[np.sort(first_idx)]
-        other = Tier.SLOW if prefer == Tier.FAST else Tier.FAST
-        take = min(self.free_pages(prefer), fresh.size)
-        spill = fresh.size - take
-        if spill > self.free_pages(other):
+        tier_order = [int(prefer)] + [t for t in self.tiers if t != int(prefer)]
+        # Dry pass first: nothing is mutated unless everything fits.
+        takes = []
+        pos = 0
+        for tier in tier_order:
+            take = self._admit_count(tier, fresh[pos:]) if pos < fresh.size else 0
+            takes.append(take)
+            pos += take
+        if pos < fresh.size:
             raise CapacityError("no capacity left for first-touch allocation")
-        self.placement[fresh[:take]] = int(prefer)
-        self.placement[fresh[take:]] = int(other)
-        self.used[prefer] += take
-        self.used[other] += spill
-        # Pages can carry activity from touches predating allocation;
-        # fold it into the destination tiers' running sums.
-        self._activity_sum[prefer] += float(self.activity[fresh[:take]].sum())
-        self._activity_sum[other] += float(self.activity[fresh[take:]].sum())
+        pos = 0
+        for tier, take in zip(tier_order, takes):
+            if take == 0:
+                continue
+            chunk = fresh[pos : pos + take]
+            self.placement[chunk] = tier
+            self.used[tier] += take
+            self._charge_frames(tier, chunk, +1.0)
+            # Pages can carry activity from touches predating allocation;
+            # fold it into the destination tiers' running sums.
+            self._activity_sum[tier] += float(self.activity[chunk].sum())
+            pos += take
         self._placement_gen += 1
         # Allocation order is LRU-list arrival order.
         self.arrival[fresh] = self._arrival_counter + np.arange(1, fresh.size + 1)
         self._arrival_counter += fresh.size
         if self.debug_accounting:
             self.check_accounting()
-        return (int(take), int(spill))
+        return (int(takes[0]), int(fresh.size - takes[0]))
 
     def touch(
         self, pages: np.ndarray, window: int, counts: Optional[np.ndarray] = None
@@ -219,16 +302,18 @@ class TieredMemory:
             unique_tiers = tiers if pages.size == np.unique(pages).size else (
                 self.placement[np.unique(pages)]
             )
-            for tier in (Tier.FAST, Tier.SLOW):
+            for tier in self.tiers:
                 self._activity_sum[tier] += float((unique_tiers == int(tier)).sum())
         else:
             counts = np.asarray(counts, dtype=float)
             np.add.at(self.activity, pages, counts)
             # One bincount pass yields the per-placement count sums
             # (slot 0 absorbs UNALLOCATED pages, which belong to no tier).
-            sums = np.bincount(tiers.astype(np.intp) + 1, weights=counts, minlength=3)
-            self._activity_sum[Tier.FAST] += float(sums[int(Tier.FAST) + 1])
-            self._activity_sum[Tier.SLOW] += float(sums[int(Tier.SLOW) + 1])
+            sums = np.bincount(
+                tiers.astype(np.intp) + 1, weights=counts, minlength=self.num_tiers + 1
+            )
+            for tier in self.tiers:
+                self._activity_sum[tier] += float(sums[tier + 1])
         self._activity_gen += 1
         if self.debug_accounting:
             self.check_accounting()
@@ -238,8 +323,8 @@ class TieredMemory:
         if steps > 0:
             factor = self.activity_decay**steps
             self.activity *= factor
-            self._activity_sum[Tier.FAST] *= factor
-            self._activity_sum[Tier.SLOW] *= factor
+            for tier in self.tiers:
+                self._activity_sum[tier] *= factor
             self._last_decay_window = window
             self._activity_gen += 1
 
@@ -262,28 +347,48 @@ class TieredMemory:
 
     # -- migration primitives -------------------------------------------------
 
-    def move(self, pages: np.ndarray, dst: Tier) -> np.ndarray:
+    def move(
+        self, pages: np.ndarray, dst: Tier, src: Optional[int] = None
+    ) -> np.ndarray:
         """Move pages to ``dst``, honouring capacity; returns pages moved.
 
-        Pages already in ``dst``, unallocated pages, and pages beyond the
+        ``src`` optionally restricts the move to pages currently in that
+        tier (multi-hop migration moves per source tier); by default any
+        allocated page not already in ``dst`` is eligible.  Pages
+        already in ``dst``, unallocated pages, and pages beyond the
         destination's free capacity are silently skipped (the kernel's
         ``move_pages()`` likewise partially succeeds).
         """
         pages = np.unique(np.asarray(pages, dtype=np.int64))
-        src = Tier.SLOW if dst == Tier.FAST else Tier.FAST
-        movable = pages[self.placement[pages] == int(src)]
-        if dst == Tier.SLOW:
+        dst_i = int(dst)
+        place = self.placement[pages]
+        if src is None:
+            movable = pages[(place != dst_i) & (place != UNALLOCATED)]
+        else:
+            movable = pages[place == int(src)]
+        if dst_i != int(Tier.FAST):
+            # Demotions away from the top tier skip pinned pages.
             movable = movable[~self._pinned[movable]]
-        room = self.free_pages(dst)
-        if movable.size > room:
-            movable = movable[:room]
+        cost = self._page_frame_cost[dst_i]
+        if cost is None:
+            room = self.capacity[dst_i] - self.used[dst_i]
+            if movable.size > room:
+                movable = movable[:room]
+        else:
+            movable = movable[: self._admit_count(dst_i, movable)]
         if movable.size:
-            self.placement[movable] = int(dst)
-            self.used[src] -= movable.size
-            self.used[dst] += movable.size
-            moved_activity = float(self.activity[movable].sum())
-            self._activity_sum[src] -= moved_activity
-            self._activity_sum[dst] += moved_activity
+            src_place = self.placement[movable]
+            for s in np.unique(src_place):
+                s = int(s)
+                sub = movable[src_place == s]
+                self.used[s] -= sub.size
+                self._charge_frames(s, sub, -1.0)
+                moved_activity = float(self.activity[sub].sum())
+                self._activity_sum[s] -= moved_activity
+                self._activity_sum[dst_i] += moved_activity
+            self.placement[movable] = dst_i
+            self.used[dst_i] += movable.size
+            self._charge_frames(dst_i, movable, +1.0)
             self._placement_gen += 1
             self._arrival_counter += 1
             self.arrival[movable] = self._arrival_counter
@@ -314,7 +419,7 @@ class TieredMemory:
         if count <= 0:
             return np.empty(0, dtype=np.int64)
         resident = self.pages_in_tier(tier)
-        if tier == Tier.SLOW:
+        if int(tier) != int(Tier.FAST):
             resident = resident[~self._pinned[resident]]
         if protect is not None and protect.size:
             # Membership test through a reusable boolean scratch mask:
@@ -352,25 +457,42 @@ class TieredMemory:
     def check_accounting(self) -> None:
         """Validate the incremental accounting against full scans.
 
-        Recomputes per-tier residency and activity aggregates from the
-        ``placement``/``activity`` arrays and raises
-        :class:`AccountingError` on any divergence.  Runs after every
-        mutation when ``debug_accounting`` is set (or the
-        ``REPRO_DEBUG_ACCOUNTING`` environment variable is non-empty).
+        Recomputes per-tier residency, activity, and (for compressed
+        tiers) frame aggregates from the ``placement``/``activity``
+        arrays and raises :class:`AccountingError` on any divergence.
+        Runs after every mutation when ``debug_accounting`` is set (or
+        the ``REPRO_DEBUG_ACCOUNTING`` environment variable is
+        non-empty).
         """
-        for tier in (Tier.FAST, Tier.SLOW):
+        for tier in self.tiers:
+            label = tier_label(tier)
             scan = np.flatnonzero(self.placement == int(tier)).astype(np.int64)
             if self.used[tier] != scan.size:
                 raise AccountingError(
-                    f"used[{tier.name}]={self.used[tier]} but scan finds {scan.size}"
+                    f"used[{label}]={self.used[tier]} but scan finds {scan.size}"
                 )
             cached = self._resident_cache.get(tier)
             if cached is not None and cached[0] == self._placement_gen:
                 if not np.array_equal(cached[1], scan):
-                    raise AccountingError(f"resident cache for {tier.name} is stale")
+                    raise AccountingError(f"resident cache for {label} is stale")
             true_sum = float(self.activity[scan].sum())
             if not np.isclose(self._activity_sum[tier], true_sum, rtol=1e-9, atol=1e-6):
                 raise AccountingError(
-                    f"activity_sum[{tier.name}]={self._activity_sum[tier]!r} "
+                    f"activity_sum[{label}]={self._activity_sum[tier]!r} "
                     f"but scan sums to {true_sum!r}"
                 )
+            cost = self._page_frame_cost[tier]
+            if cost is not None:
+                true_frames = float(cost[scan].sum())
+                if not np.isclose(
+                    self._frames_used[tier], true_frames, rtol=1e-9, atol=1e-6
+                ):
+                    raise AccountingError(
+                        f"frames_used[{label}]={self._frames_used[tier]!r} "
+                        f"but scan sums to {true_frames!r}"
+                    )
+                if self._frames_used[tier] > self.capacity[tier] + 1e-6:
+                    raise AccountingError(
+                        f"frames_used[{label}]={self._frames_used[tier]!r} "
+                        f"exceeds capacity {self.capacity[tier]}"
+                    )

@@ -29,7 +29,7 @@ from repro.hw.pebs import PebsBatch, PebsSampler
 from repro.hw.perf import PerfCounters
 from repro.hw.stall import ShareBatch, StallModel
 from repro.obs import Observability, resolve as resolve_obs
-from repro.mem.page import Tier
+from repro.mem.page import Tier, tier_key
 from repro.mem.tiered import TieredMemory
 from repro.sim.config import MachineConfig
 from repro.sim.metrics import RunResult
@@ -68,26 +68,44 @@ class Machine:
         self.trace_enabled = self.obs.wants_trace
 
         footprint = workload.footprint_pages
+        caps = self.config.tier_capacities(footprint, ratio)
         if fast_capacity_override is not None:
-            fast_cap = fast_capacity_override
+            caps[0] = fast_capacity_override
+        specs = self.config.tier_specs()
+        if self.config.topology is not None:
+            costs = self.config.topology.page_frame_costs(footprint)
         else:
-            fast_cap = self.config.fast_capacity(footprint, ratio)
+            costs = [None] * len(specs)
+        # Elide zero-capacity *interior* tiers before building anything:
+        # an empty middle tier contributes no placement, no stall share,
+        # and no counter stream, so collapsing it keeps the run
+        # bit-identical to the equivalent shorter hierarchy (per-tier
+        # RNG draws included).  Tier 0 and the bottom tier always stay.
+        keep = [i for i in range(len(caps)) if caps[i] > 0 or i == 0 or i == len(caps) - 1]
+        caps = [caps[i] for i in keep]
+        specs = [specs[i] for i in keep]
+        costs = [costs[i] for i in keep]
+        self.num_tiers = len(caps)
+        #: Ordered tier keys (Tier enums for tiers 0/1, ints beyond).
+        self.tiers = tuple(tier_key(t) for t in range(self.num_tiers))
         self.memory = TieredMemory(
             footprint_pages=footprint,
-            fast_capacity_pages=fast_cap,
-            slow_capacity_pages=self.config.slow_capacity(footprint),
-            fast_spec=self.config.fast_spec,
-            slow_spec=self.config.slow_spec,
+            capacities=caps,
+            specs=specs,
+            page_frame_costs=costs,
         )
         pebs_rng, cha_rng, perf_rng = split(seed, "pebs", "cha", "perf")
         self.stall_model = StallModel(
-            self.config.fast_spec,
-            self.config.slow_spec,
-            self.config.freq_ghz,
+            specs,
+            freq_ghz=self.config.freq_ghz,
             obs=self.obs if self.obs.enabled else None,
         )
-        self.cha = ChaTorCounters(noise=self.config.counter_noise, rng=cha_rng)
-        self.perf = PerfCounters(noise=self.config.counter_noise, rng=perf_rng)
+        self.cha = ChaTorCounters(
+            noise=self.config.counter_noise, rng=cha_rng, num_tiers=self.num_tiers
+        )
+        self.perf = PerfCounters(
+            noise=self.config.counter_noise, rng=perf_rng, num_tiers=self.num_tiers
+        )
         if policy.access_sampler == "chmu":
             from repro.hw.chmu import ChmuSampler
 
@@ -213,10 +231,13 @@ class Machine:
             interference = migration.cost_cycles * self.config.migration.background_interference
             self._pending_overhead_cycles += interference
         if migration.bytes_moved > 0:
-            for tier in (Tier.FAST, Tier.SLOW):
-                self._pending_bytes[tier] = (
-                    self._pending_bytes.get(tier, 0.0) + migration.bytes_moved / 2.0
-                )
+            # Charge each hop's copy traffic to the links it actually
+            # crossed (on two tiers this is the historical half/half
+            # split of ``bytes_moved``, bit for bit).
+            for tier in self.tiers:
+                nbytes = migration.link_bytes.get(int(tier), 0.0)
+                if nbytes > 0.0:
+                    self._pending_bytes[tier] = self._pending_bytes.get(tier, 0.0) + nbytes
 
         self._runtime_cycles += duration
         self._last_duration = duration
@@ -252,7 +273,12 @@ class Machine:
     def _sample_pebs(self, shares) -> PebsBatch:
         if not self.policy.needs_pebs:
             return PebsBatch.empty(self.pebs.rate)
-        tiers = (Tier.SLOW, Tier.FAST) if self.policy.sample_fast_tier else (Tier.SLOW,)
+        # Lower tiers first (nearest to farthest), then the fast tier if
+        # the policy samples it -- the two-tier order was (SLOW, FAST).
+        if self.policy.sample_fast_tier:
+            tiers = self.tiers[1:] + (self.tiers[0],)
+        else:
+            tiers = self.tiers[1:]
         return self.pebs.sample(shares, tiers=tiers)
 
     def _observe(
@@ -261,16 +287,14 @@ class Machine:
         perf_now = self.perf.read()
         tor_now = self.cha.read()
         perf_delta = perf_now.delta(self._last_perf)
-        tor_mlp = {
-            tier: tor_now.mlp_since(self._last_tor, tier) for tier in (Tier.FAST, Tier.SLOW)
-        }
+        tor_mlp = {tier: tor_now.mlp_since(self._last_tor, tier) for tier in self.tiers}
         tor_occ = {
             tier: tor_now.occupancy[tier] - self._last_tor.occupancy[tier]
-            for tier in (Tier.FAST, Tier.SLOW)
+            for tier in self.tiers
         }
         tor_busy = {
             tier: tor_now.busy_cycles[tier] - self._last_tor.busy_cycles[tier]
-            for tier in (Tier.FAST, Tier.SLOW)
+            for tier in self.tiers
         }
         self._last_perf = perf_now
         self._last_tor = tor_now
@@ -284,12 +308,14 @@ class Machine:
             tor_occupancy_delta=tor_occ,
             tor_busy_delta=tor_busy,
             progress=self.workload.progress,
+            num_tiers=self.num_tiers,
         )
         if touched is not None:
             # touched is None only when the policy declared (via
             # needs_touched_pages) that it never reads these fields.
+            # "Slow" means any tier below tier 0.
             placement = self.memory.placement[touched]
-            obs.touched_slow = touched[placement == int(Tier.SLOW)]
+            obs.touched_slow = touched[placement >= 1]
             obs.touched_fast = touched[placement == int(Tier.FAST)]
         return obs
 
@@ -328,17 +354,34 @@ class Machine:
         o.observe("machine/window_duration_cycles", duration)
         o.gauge("migrate/promoted_last_window", migration.promoted)
         o.gauge("migrate/demoted_last_window", migration.demoted)
-        o.gauge("machine/fast_resident_fraction", self.memory.resident_fraction(Tier.FAST))
-        for tier, tag in ((Tier.FAST, "fast"), (Tier.SLOW, "slow")):
-            load = outcome.tier_loads[tier]
-            o.gauge(f"hw/util_{tag}", load.utilisation)
-            o.gauge(f"hw/effective_latency_{tag}_cycles", load.effective_latency_cycles)
-            used = self.memory.used[tier]
-            cap = self.memory.capacity[tier]
-            o.gauge(f"mem/occupancy_{tag}", used / cap if cap > 0 else 0.0)
+        if self.config.topology is None:
+            # Default pair: keep the historical gauge names (dashboards
+            # and the trace-digest tests pin them).
+            o.gauge(
+                "machine/fast_resident_fraction", self.memory.resident_fraction(Tier.FAST)
+            )
+            for tier, tag in ((Tier.FAST, "fast"), (Tier.SLOW, "slow")):
+                load = outcome.tier_loads[tier]
+                o.gauge(f"hw/util_{tag}", load.utilisation)
+                o.gauge(f"hw/effective_latency_{tag}_cycles", load.effective_latency_cycles)
+                used = self.memory.used[tier]
+                cap = self.memory.capacity[tier]
+                o.gauge(f"mem/occupancy_{tag}", used / cap if cap > 0 else 0.0)
+        else:
+            o.gauge("machine/tier0/resident_fraction", self.memory.resident_fraction(Tier.FAST))
+            for i, tier in enumerate(self.tiers):
+                load = outcome.tier_loads[tier]
+                o.gauge(f"machine/tier{i}/util", load.utilisation)
+                o.gauge(f"machine/tier{i}/effective_latency_cycles", load.effective_latency_cycles)
+                o.gauge(f"machine/tier{i}/occupancy", self.memory.occupancy_fraction(i))
 
     def _record(self, phase, outcome, migration, obs, duration) -> None:
         loads = outcome.tier_loads
+        # "Slow" aggregates every tier below tier 0; mlp_slow reports the
+        # nearest lower tier (the CXL link on the paper's testbed).
+        slow_misses = 0.0
+        for tier in self.tiers[1:]:
+            slow_misses += loads[tier].misses
         label_stalls: Dict[str, float] = {}
         shares = outcome.shares
         if isinstance(shares, ShareBatch):
@@ -354,12 +397,12 @@ class Machine:
             window=self._window,
             duration_cycles=duration,
             stall_cycles=outcome.total_stall_cycles,
-            slow_misses=loads[Tier.SLOW].misses,
-            fast_misses=loads[Tier.FAST].misses,
+            slow_misses=slow_misses,
+            fast_misses=loads[self.tiers[0]].misses,
             promoted=migration.promoted,
             demoted=migration.demoted,
-            mlp_slow=loads[Tier.SLOW].mlp,
-            mlp_fast=loads[Tier.FAST].mlp,
+            mlp_slow=loads[self.tiers[1]].mlp,
+            mlp_fast=loads[self.tiers[0]].mlp,
             fast_resident_fraction=self.memory.resident_fraction(Tier.FAST),
             phase=phase,
             policy_debug=self.policy.debug_info(),

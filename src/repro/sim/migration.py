@@ -4,11 +4,22 @@ Wraps :class:`repro.mem.tiered.TieredMemory` with the mechanics the
 paper's systems share: ``move_pages()`` cost accounting, THP-aware
 whole-huge-page moves (§5.2), LRU victim demotion, and cumulative
 promotion/demotion counters (the paper's Table 2 metric).
+
+With an N-tier topology the engine routes migrations hop-by-hop:
+promotions always target tier 0; demotions follow the topology's
+demotion mode -- ``"through"`` moves a victim one tier down (cascading
+further demotions when the intermediate tier is full), ``"direct"``
+sends it straight to the bottom tier.  Every hop is separately subject
+to capacity admission (and the optional :attr:`MigrationEngine.admission`
+hook), and its copy traffic is charged to the two tiers it actually
+touches.  Both modes reduce to the single fast->slow hop on the default
+two-tier pair.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
@@ -32,12 +43,17 @@ class MigrationOutcome:
     bytes_moved: float = 0.0
     promoted_pages: np.ndarray = field(default_factory=_no_pages)
     demoted_pages: np.ndarray = field(default_factory=_no_pages)
+    #: Copy traffic per tier index touched (each hop charges half its
+    #: bytes to the source tier's link and half to the destination's).
+    link_bytes: Dict[int, float] = field(default_factory=dict)
 
     def merge(self, other: "MigrationOutcome") -> None:
         self.promoted += other.promoted
         self.demoted += other.demoted
         self.cost_cycles += other.cost_cycles
         self.bytes_moved += other.bytes_moved
+        for tier, nbytes in other.link_bytes.items():
+            self.link_bytes[tier] = self.link_bytes.get(tier, 0.0) + nbytes
         if other.promoted_pages.size:
             self.promoted_pages = np.concatenate([self.promoted_pages, other.promoted_pages])
         if other.demoted_pages.size:
@@ -50,6 +66,13 @@ class MigrationEngine:
     def __init__(self, memory: TieredMemory, config: MachineConfig, obs=None):
         self.memory = memory
         self.config = config
+        self.num_tiers = memory.num_tiers
+        #: Demotion routing for multi-hop hierarchies (see module doc).
+        self.demotion_mode = config.demotion_mode
+        #: Optional per-hop admission gate: ``(src, dst, pages) -> pages``
+        #: lets a policy veto or trim individual hops (e.g. refuse to
+        #: demote compressible-unfriendly pages into a compressed tier).
+        self.admission: Optional[Callable[[int, int, np.ndarray], np.ndarray]] = None
         #: Optional :class:`repro.obs.Observability` sink for cumulative
         #: promotion/demotion/cost counters (None = no publishing).
         self._obs = obs
@@ -77,6 +100,18 @@ class MigrationEngine:
         whole = int((counts == PAGES_PER_HUGE_PAGE).sum())
         loose = int(counts[counts != PAGES_PER_HUGE_PAGE].sum())
         return self.config.migration_cycles(pages_4k=loose, huge_pages=whole)
+
+    def _demote_dst(self, src: int) -> int:
+        """Destination tier for a demotion out of ``src``."""
+        bottom = self.num_tiers - 1
+        if self.demotion_mode == "direct":
+            return bottom
+        return min(src + 1, bottom)
+
+    def _admit(self, src: int, dst: int, pages: np.ndarray) -> np.ndarray:
+        if self.admission is None or pages.size == 0:
+            return pages
+        return np.asarray(self.admission(src, dst, pages), dtype=np.int64)
 
     # -- operations -------------------------------------------------------------
 
@@ -109,16 +144,62 @@ class MigrationEngine:
         return self.demote(victims)
 
     def demote(self, pages: np.ndarray) -> MigrationOutcome:
+        """Demote pages one hop down (or straight to the bottom tier).
+
+        Pages are routed per source tier; a hop into a *full*
+        intermediate tier first cascades that tier's own LRU victims
+        further down to make room (demote-through semantics).
+        """
         pages = self._expand_thp(np.asarray(pages, dtype=np.int64))
-        moved = self.memory.move(pages, Tier.SLOW)
-        return self._account(moved, promoted=False)
+        outcome = MigrationOutcome()
+        if pages.size == 0:
+            return outcome
+        place = self.memory.tier_of(pages)
+        for src in range(self.num_tiers - 1):
+            sub = pages[place == src]
+            if sub.size == 0:
+                continue
+            dst = self._demote_dst(src)
+            sub = self._admit(src, dst, sub)
+            if sub.size == 0:
+                continue
+            if dst < self.num_tiers - 1:
+                deficit = sub.size - self.memory.free_pages(dst)
+                if deficit > 0:
+                    outcome.merge(self._cascade(dst, deficit, protect=sub))
+            moved = self.memory.move(sub, dst, src=src)
+            outcome.merge(self._account(moved, promoted=False, src=src, dst=dst))
+        return outcome
+
+    def _cascade(self, tier: int, count: int, protect: np.ndarray) -> MigrationOutcome:
+        """Push ``count`` LRU victims out of an intermediate tier.
+
+        Recursion depth is bounded by the tier chain: each level demotes
+        one hop further down, and the bottom tier always has room.
+        """
+        outcome = MigrationOutcome()
+        victims = self.memory.lru_victims(tier, count, protect=protect)
+        if victims.size == 0:
+            return outcome
+        dst = self._demote_dst(tier)
+        victims = self._admit(tier, dst, victims)
+        if victims.size == 0:
+            return outcome
+        if dst < self.num_tiers - 1:
+            deficit = victims.size - self.memory.free_pages(dst)
+            if deficit > 0:
+                outcome.merge(self._cascade(dst, deficit, protect=victims))
+        moved = self.memory.move(victims, dst, src=tier)
+        outcome.merge(self._account(moved, promoted=False, src=tier, dst=dst))
+        return outcome
 
     def promote(self, pages: np.ndarray, make_room: bool = False) -> MigrationOutcome:
-        """Promote pages; optionally demote LRU victims to make room.
+        """Promote pages to tier 0; optionally demote LRU victims first.
 
         ``make_room`` models policies that reclaim on-demand (TPP's
         watermark-based demotion); PACT instead reserves space ahead of
-        time through its eager-demotion rule.
+        time through its eager-demotion rule.  Pages are promoted per
+        source tier, nearest tier first.
         """
         pages = self._expand_thp(np.asarray(pages, dtype=np.int64))
         outcome = MigrationOutcome()
@@ -128,11 +209,22 @@ class MigrationEngine:
             deficit = pages.size - self.memory.free_pages(Tier.FAST)
             if deficit > 0:
                 outcome.merge(self.demote_lru(deficit, protect=pages))
-        moved = self.memory.move(pages, Tier.FAST)
-        outcome.merge(self._account(moved, promoted=True))
+        place = self.memory.tier_of(pages)
+        top = int(Tier.FAST)
+        for src in range(1, self.num_tiers):
+            sub = pages[place == src]
+            if sub.size == 0:
+                continue
+            sub = self._admit(src, top, sub)
+            if sub.size == 0:
+                continue
+            moved = self.memory.move(sub, Tier.FAST, src=src)
+            outcome.merge(self._account(moved, promoted=True, src=src, dst=top))
         return outcome
 
-    def _account(self, moved: np.ndarray, promoted: bool) -> MigrationOutcome:
+    def _account(
+        self, moved: np.ndarray, promoted: bool, src: int, dst: int
+    ) -> MigrationOutcome:
         cost = self._cost(moved)
         count = int(moved.size)
         if promoted:
@@ -143,11 +235,20 @@ class MigrationEngine:
         if self._obs is not None and count:
             self._obs.count("migrate/promoted_pages" if promoted else "migrate/demoted_pages", count)
             self._obs.count("migrate/cost_cycles", cost)
+        bytes_moved = float(count) * PAGE_SIZE * 2.0  # read src + write dst
+        link_bytes: Dict[int, float] = {}
+        if count:
+            # Half the copy traffic crosses each endpoint's link; the
+            # halves are exact (counts of 4KB pages), so summing them
+            # per tier reproduces the historical bytes_moved/2 split.
+            link_bytes[int(src)] = bytes_moved / 2.0
+            link_bytes[int(dst)] = link_bytes.get(int(dst), 0.0) + bytes_moved / 2.0
         return MigrationOutcome(
             promoted=count if promoted else 0,
             demoted=0 if promoted else count,
             cost_cycles=cost,
-            bytes_moved=float(count) * PAGE_SIZE * 2.0,  # read src + write dst
+            bytes_moved=bytes_moved,
+            link_bytes=link_bytes,
             promoted_pages=moved if promoted else _no_pages(),
             demoted_pages=_no_pages() if promoted else moved,
         )

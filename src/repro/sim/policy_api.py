@@ -57,10 +57,53 @@ class Observation:
     touched_fast: np.ndarray = field(default_factory=no_pages)
     #: Workload progress fraction, for trace labelling only.
     progress: float = 0.0
+    #: Number of tiers in the (effective) hierarchy this run.
+    num_tiers: int = 2
 
     @property
     def fast_free(self) -> int:
         return self.memory.free_pages(Tier.FAST)
+
+    @property
+    def lower_tiers(self):
+        """Tier keys below tier 0, nearest first (``[Tier.SLOW]`` on two)."""
+        return [t for t in self.tor_mlp if int(t) >= 1]
+
+    def lower_misses(self) -> float:
+        """Total LLC misses served by tiers below tier 0 this window.
+
+        Ordered accumulation from 0.0, so on two tiers this is exactly
+        ``perf.llc_misses[Tier.SLOW]``.
+        """
+        total = 0.0
+        for tier in self.lower_tiers:
+            total += self.perf.llc_misses.get(tier, 0.0)
+        return total
+
+    def lower_latency_cycles(self) -> float:
+        """Miss-weighted effective latency of the lower tiers.
+
+        With a single lower tier this short-circuits to that tier's
+        latency exactly (no multiply/divide round-trip); with several it
+        weights each tier's loaded latency by its miss share.
+        """
+        lower = self.lower_tiers
+        if len(lower) == 1:
+            return self.perf.effective_latency_cycles.get(lower[0], 0.0)
+        weighted = 0.0
+        misses = 0.0
+        for tier in lower:
+            m = self.perf.llc_misses.get(tier, 0.0)
+            weighted += self.perf.effective_latency_cycles.get(tier, 0.0) * m
+            misses += m
+        if misses <= 0.0:
+            return self.perf.effective_latency_cycles.get(lower[0], 0.0) if lower else 0.0
+        return weighted / misses
+
+    def lower_mlp(self) -> float:
+        """MLP of the nearest lower tier (the paper's CXL-link MLP)."""
+        lower = self.lower_tiers
+        return self.tor_mlp[lower[0]] if lower else 1.0
 
 
 @dataclass

@@ -1,0 +1,458 @@
+"""Tier-graph tests: N-part ratios, topologies, compression, multi-hop.
+
+Covers the tier-graph core along four axes:
+
+* ``parse_ratio`` N-part parsing with exact two-part back-compat,
+* topology construction, default-pair normalisation, and cache-key
+  fingerprints (topology enters the key only when non-default),
+* N-tier ``TieredMemory`` + multi-hop migration conservation properties,
+* end-to-end equivalence: a three-tier hierarchy with an empty middle
+  tier reproduces the two-tier golden digests bit for bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.baselines import make_policy
+from repro.common.units import CXL_SPEC, DRAM_SPEC, NUMA_SPEC, NVME_SPEC
+from repro.exp.cache import canonical, content_hash, result_to_dict
+from repro.exp.spec import PolicySpec, RunRequest, WorkloadSpec
+from repro.mem.page import Tier, tier_from_label, tier_key, tier_label
+from repro.mem.tiered import TieredMemory
+from repro.mem.topology import (
+    CompressionSpec,
+    TierDef,
+    TierTopology,
+    default_topology,
+    make_topology,
+)
+from repro.sim.config import MachineConfig, parse_ratio, parse_ratio_parts
+from repro.sim.engine import run_policy
+from repro.sim.migration import MigrationEngine
+from repro.workloads import make_workload
+
+from test_golden_digests import GOLDEN_DIGESTS
+
+
+# -- ratio parsing ----------------------------------------------------------------
+
+
+class TestParseRatio:
+    def test_two_part_exact_values(self):
+        assert parse_ratio("1:4") == 1.0 / 5.0
+        assert parse_ratio("1:1") == 0.5
+        assert parse_ratio("8:1") == 8.0 / 9.0
+
+    def test_n_part_values(self):
+        assert parse_ratio_parts("1:4:16") == [1.0 / 21.0, 4.0 / 21.0, 16.0 / 21.0]
+        assert parse_ratio("1:4:16") == 1.0 / 21.0
+
+    def test_zero_middle_part_matches_two_part_exactly(self):
+        # "1:0:4" must yield the *bit-identical* tier-0 fraction as
+        # "1:4" -- the empty-middle digest equivalence depends on it.
+        assert parse_ratio("1:0:4") == parse_ratio("1:4")
+
+    @pytest.mark.parametrize("bad", ["1-1", "1", "", "a:b", "1:", ":4", "nan:1", "inf:2"])
+    def test_malformed_strings_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_ratio(bad)
+
+    @pytest.mark.parametrize("bad", ["0:1", "1:0", "-1:4", "1:-4"])
+    def test_two_part_requires_both_positive(self, bad):
+        # The historical two-part contract: zeros were never allowed.
+        with pytest.raises(ValueError, match="positive"):
+            parse_ratio(bad)
+
+    @pytest.mark.parametrize("bad", ["0:1:4", "1:4:0", "1:-1:4"])
+    def test_n_part_endpoint_and_sign_rules(self, bad):
+        with pytest.raises(ValueError, match="positive"):
+            parse_ratio(bad)
+
+    def test_n_part_allows_zero_middles(self):
+        assert parse_ratio_parts("2:0:0:2") == [0.5, 0.0, 0.0, 0.5]
+
+
+class TestTierCapacities:
+    def test_two_tier_matches_legacy_helpers(self):
+        config = MachineConfig()
+        caps = config.tier_capacities(1000, "1:4")
+        assert caps == [config.fast_capacity(1000, "1:4"), config.slow_capacity(1000)]
+
+    def test_three_tier_split_and_bottom_slack(self):
+        config = MachineConfig(topology=make_topology("dram-cxl-nvme"))
+        caps = config.tier_capacities(1000, "1:4:16")
+        assert len(caps) == 3
+        assert caps[0] == int(np.ceil(1000 / 21.0))
+        assert caps[1] == int(np.ceil(1000 * 4.0 / 21.0))
+        assert caps[2] == config.slow_capacity(1000)
+
+    def test_short_ratio_padded_with_last_part(self):
+        config = MachineConfig(topology=make_topology("dram-cxl-nvme"))
+        assert config.tier_capacities(1000, "1:4") == config.tier_capacities(1000, "1:4:4")
+
+    def test_zero_middle_gives_empty_interior_tier(self):
+        config = MachineConfig(topology=make_topology("dram-cxl-nvme"))
+        caps = config.tier_capacities(1000, "1:0:4")
+        assert caps[0] == config.fast_capacity(1000, "1:4")
+        assert caps[1] == 0
+
+    def test_too_many_parts_rejected(self):
+        config = MachineConfig(topology=make_topology("dram-cxl-nvme"))
+        with pytest.raises(ValueError, match="parts"):
+            config.tier_capacities(1000, "1:2:3:4")
+
+
+# -- tier keys and labels ---------------------------------------------------------
+
+
+class TestTierKeys:
+    def test_low_tiers_stay_enums(self):
+        assert tier_key(0) is Tier.FAST
+        assert tier_key(1) is Tier.SLOW
+        assert tier_key(2) == 2 and not isinstance(tier_key(2), Tier)
+
+    def test_labels_round_trip(self):
+        for i in range(5):
+            assert tier_from_label(tier_label(i)) == i
+        assert tier_label(0) == "FAST" and tier_label(2) == "TIER2"
+        with pytest.raises(ValueError):
+            tier_from_label("bogus")
+
+
+# -- topology construction --------------------------------------------------------
+
+
+class TestTopology:
+    def test_needs_at_least_two_tiers(self):
+        with pytest.raises(ValueError):
+            TierTopology(tiers=(TierDef(DRAM_SPEC),))
+
+    def test_rejects_unknown_demotion_mode(self):
+        with pytest.raises(ValueError):
+            TierTopology(tiers=(TierDef(DRAM_SPEC), TierDef(CXL_SPEC)), demotion="sideways")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            make_topology("dram-tape")
+
+    def test_compression_folds_latency_into_spec(self):
+        tier = TierDef(CXL_SPEC, compression=CompressionSpec(latency_ns=40.0))
+        spec = tier.effective_spec()
+        assert spec.latency_ns == CXL_SPEC.latency_ns + 40.0
+        assert spec.name.endswith("+z")
+
+    def test_page_ratios_are_seeded_and_bounded(self):
+        comp = CompressionSpec(ratio=2.0, spread=0.5, seed=7)
+        a = comp.page_ratios(512)
+        b = comp.page_ratios(512)
+        np.testing.assert_array_equal(a, b)
+        assert a.min() >= 1.0  # a "compressed" page never grows
+        assert a.max() <= 2.0 * 1.5
+        costs = comp.page_frame_costs(512)
+        np.testing.assert_allclose(costs, 1.0 / a)
+
+    def test_default_pair_normalises_to_none(self):
+        config = MachineConfig(topology=default_topology())
+        assert config.topology is None
+        assert config.num_tiers == 2
+
+    def test_non_default_topology_is_kept(self):
+        config = MachineConfig(topology=make_topology("dram-cxlz-nvme"))
+        assert config.topology is not None
+        assert config.num_tiers == 3
+        assert config.demotion_mode == "through"
+
+
+# -- cache-key fingerprints -------------------------------------------------------
+
+
+def _request_key(config: MachineConfig) -> str:
+    request = RunRequest(
+        kind="policy",
+        workload=WorkloadSpec.registry("gups", total_misses=1_000_000),
+        policy=PolicySpec(name="PACT"),
+        ratio="1:4",
+        seed=0,
+        config=config,
+    )
+    return content_hash(request.fingerprint())
+
+
+class TestFingerprints:
+    def test_default_pair_topology_fingerprints_like_no_topology(self):
+        # The key invariant behind keeping CACHE_VERSION at 2: spelling
+        # out the default pair must not orphan existing cached results.
+        assert _request_key(MachineConfig(topology=default_topology())) == _request_key(
+            MachineConfig()
+        )
+
+    def test_canonical_omits_topology_only_when_none(self):
+        assert "topology" not in canonical(MachineConfig())
+        doc = canonical(MachineConfig(topology=make_topology("dram-cxlz-nvme")))
+        assert "topology" in doc
+
+    def test_non_default_topology_changes_the_key(self):
+        base = _request_key(MachineConfig())
+        assert _request_key(MachineConfig(topology=make_topology("dram-cxl-nvme"))) != base
+        assert _request_key(MachineConfig(topology=make_topology("dram-cxlz-nvme"))) != base
+
+    def test_demotion_mode_is_part_of_the_key(self):
+        through = _request_key(MachineConfig(topology=make_topology("dram-cxl-nvme")))
+        direct = _request_key(
+            MachineConfig(topology=make_topology("dram-cxl-nvme", demotion="direct"))
+        )
+        assert through != direct
+
+
+# -- N-tier memory + multi-hop migration ------------------------------------------
+
+
+def _three_tier_memory(footprint=300, caps=(100, 100, 400)):
+    return TieredMemory(
+        footprint_pages=footprint,
+        capacities=list(caps),
+        specs=[DRAM_SPEC, CXL_SPEC, NVME_SPEC],
+    )
+
+
+def _used_total(memory):
+    return sum(memory.used)
+
+
+class TestNTierMemory:
+    def test_first_touch_spills_down_in_tier_order(self):
+        memory = _three_tier_memory()
+        memory.allocate_first_touch(np.arange(300), prefer=Tier.FAST)
+        assert memory.used == [100, 100, 100]
+        place = memory.placement
+        assert (place[:100] == 0).all() and (place[100:200] == 1).all()
+        assert (place[200:] == 2).all()
+
+    def test_move_with_explicit_source_conserves_pages(self):
+        memory = _three_tier_memory()
+        memory.allocate_first_touch(np.arange(300), prefer=Tier.FAST)
+        moved = memory.move(np.arange(50), 2, src=0)
+        assert moved.size == 50
+        assert _used_total(memory) == 300
+        assert memory.used == [50, 100, 150]
+
+    def test_compressed_tier_admits_beyond_page_capacity(self):
+        # Every page compresses 2x, so 50 frames hold 100 pages.
+        costs = [None, np.full(200, 0.5), None]
+        memory = TieredMemory(
+            footprint_pages=200,
+            capacities=[50, 50, 200],
+            specs=[DRAM_SPEC, CXL_SPEC, NVME_SPEC],
+            page_frame_costs=costs,
+        )
+        memory.allocate_first_touch(np.arange(200), prefer=Tier.FAST)
+        assert memory.used == [50, 100, 50]
+        assert memory.frames_used(1) == pytest.approx(50.0)
+        memory.check_accounting()
+
+
+def _engine(memory, demotion="through"):
+    topology = TierTopology(
+        tiers=(TierDef(DRAM_SPEC), TierDef(CXL_SPEC), TierDef(NVME_SPEC)),
+        demotion=demotion,
+    )
+    return MigrationEngine(memory, MachineConfig(topology=topology))
+
+
+class TestMultiHopMigration:
+    def test_demote_through_cascades_out_of_a_full_middle_tier(self):
+        memory = _three_tier_memory(footprint=200, caps=(100, 100, 400))
+        memory.allocate_first_touch(np.arange(200), prefer=Tier.FAST)
+        assert memory.used == [100, 100, 0]
+        engine = _engine(memory, demotion="through")
+        outcome = engine.demote(np.arange(30))
+        # 30 pages moved fast->middle; the full middle tier first pushed
+        # 30 of its own victims middle->bottom.
+        assert outcome.demoted == 60
+        assert memory.used == [70, 100, 30]
+        assert _used_total(memory) == 200
+        assert set(outcome.link_bytes) == {0, 1, 2}
+
+    def test_demote_direct_skips_the_middle_tier(self):
+        memory = _three_tier_memory(footprint=200, caps=(100, 100, 400))
+        memory.allocate_first_touch(np.arange(200), prefer=Tier.FAST)
+        engine = _engine(memory, demotion="direct")
+        outcome = engine.demote(np.arange(30))
+        assert outcome.demoted == 30
+        assert memory.used == [70, 100, 30]
+        # Only the fast and bottom links carried traffic.
+        assert set(outcome.link_bytes) == {0, 2}
+
+    def test_promotion_pulls_from_every_lower_tier(self):
+        memory = _three_tier_memory(footprint=300, caps=(150, 100, 400))
+        memory.allocate_first_touch(np.arange(300), prefer=Tier.FAST)
+        memory.move(np.arange(100), 2, src=0)  # leave tier0 half-empty
+        engine = _engine(memory)
+        pages = np.concatenate([np.arange(150, 170), np.arange(250, 270)])
+        outcome = engine.promote(pages)
+        assert outcome.promoted == 40
+        assert _used_total(memory) == 300
+        assert (memory.tier_of(pages) == 0).all()
+
+    def test_admission_hook_gates_individual_hops(self):
+        memory = _three_tier_memory(footprint=200, caps=(100, 100, 400))
+        memory.allocate_first_touch(np.arange(200), prefer=Tier.FAST)
+        engine = _engine(memory, demotion="direct")
+        engine.admission = lambda src, dst, pages: pages[pages % 2 == 0]
+        outcome = engine.demote(np.arange(30))
+        assert outcome.demoted == 15
+        assert (memory.tier_of(np.arange(1, 30, 2)) == 0).all()
+
+    def test_two_tier_link_bytes_match_legacy_split(self):
+        memory = TieredMemory(200, 100, 400, DRAM_SPEC, CXL_SPEC)
+        memory.allocate_first_touch(np.arange(150), prefer=Tier.FAST)
+        engine = MigrationEngine(memory, MachineConfig())
+        outcome = engine.demote(np.arange(20))
+        assert outcome.link_bytes == {
+            0: outcome.bytes_moved / 2.0,
+            1: outcome.bytes_moved / 2.0,
+        }
+
+
+# -- end-to-end: empty middle tier reproduces the two-tier digests -----------------
+
+
+def _digest_with_ratio_label(result, ratio_label):
+    # The ratio string is an input label, not an output; rewrite it so
+    # "1:0:4" digests can be compared against the "1:4" goldens.
+    return content_hash(canonical(result_to_dict(dataclasses.replace(result, ratio=ratio_label))))
+
+
+@pytest.mark.parametrize(
+    "policy,workload",
+    [("PACT", "gups"), ("Memtis", "bc-kron"), ("NoTier", "gups")],
+)
+def test_empty_middle_tier_reproduces_two_tier_digests(policy, workload):
+    # DRAM -> (empty NUMA tier) -> CXL with ratio 1:0:4: the machine
+    # elides the zero-capacity interior tier, so the run must be
+    # bit-identical to the recorded two-tier 1:4 golden digest.
+    topology = TierTopology(
+        tiers=(TierDef(DRAM_SPEC), TierDef(NUMA_SPEC), TierDef(CXL_SPEC))
+    )
+    config = MachineConfig(topology=topology)
+    result = run_policy(
+        make_workload(workload, total_misses=2_000_000),
+        make_policy(policy),
+        ratio="1:0:4",
+        config=config,
+        seed=0,
+    )
+    assert _digest_with_ratio_label(result, "1:4") == GOLDEN_DIGESTS[(policy, workload, False, 0)]
+
+
+# -- end-to-end: three live tiers --------------------------------------------------
+
+
+def _three_tier_result(policy="PACT", demotion="through", topology="dram-cxlz-nvme"):
+    config = MachineConfig(topology=make_topology(topology, demotion=demotion))
+    return run_policy(
+        make_workload("gups", total_misses=1_000_000),
+        make_policy(policy),
+        ratio="1:4:16",
+        config=config,
+        seed=0,
+    )
+
+
+class TestThreeTierEndToEnd:
+    def test_run_reports_three_tiers_of_misses(self):
+        result = _three_tier_result()
+        assert set(result.tier_misses) == {Tier.FAST, Tier.SLOW, 2}
+        assert result.total_misses == pytest.approx(sum(result.tier_misses.values()))
+        assert result.runtime_cycles > 0
+
+    def test_demotion_mode_is_a_live_ablation(self):
+        through = _three_tier_result(demotion="through")
+        direct = _three_tier_result(demotion="direct")
+        assert through.runtime_cycles != direct.runtime_cycles
+
+    def test_result_round_trips_through_the_cache_codec(self):
+        from repro.exp.cache import result_from_dict
+
+        result = _three_tier_result()
+        doc = result_to_dict(result)
+        assert set(doc["tier_misses"]) == {"FAST", "SLOW", "TIER2"}
+        back = result_from_dict(doc)
+        assert back.tier_misses == result.tier_misses
+
+
+# -- observability gauge names -----------------------------------------------------
+
+
+class TestTierGauges:
+    def _summary(self, config):
+        from repro.obs import Observability
+
+        result = run_policy(
+            make_workload("gups", total_misses=500_000),
+            make_policy("PACT"),
+            ratio="1:4" if config.topology is None else "1:4:16",
+            config=config,
+            seed=0,
+            obs=Observability(),
+        )
+        return result.metrics_summary
+
+    def test_default_pair_keeps_legacy_gauge_names(self):
+        summary = self._summary(MachineConfig())
+        assert "hw/util_fast" in summary
+        assert "hw/util_slow" in summary
+        assert "mem/occupancy_fast" in summary
+        assert "machine/fast_resident_fraction" in summary
+        assert not any(name.startswith("machine/tier0/") for name in summary)
+
+    def test_n_tier_topology_publishes_per_tier_gauges(self):
+        summary = self._summary(MachineConfig(topology=make_topology("dram-cxlz-nvme")))
+        for i in range(3):
+            assert f"machine/tier{i}/util" in summary
+            assert f"machine/tier{i}/occupancy" in summary
+            assert f"machine/tier{i}/effective_latency_cycles" in summary
+        assert "machine/tier0/resident_fraction" in summary
+        assert "hw/util_fast" not in summary
+
+
+# -- CLI ---------------------------------------------------------------------------
+
+
+class TestCliTopology:
+    def test_three_tier_run_smoke(self, capsys, tmp_path):
+        import io
+
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(
+            [
+                "run",
+                "--workload", "gups",
+                "--policy", "PACT",
+                "--ratio", "1:4:16",
+                "--topology", "dram-cxlz-nvme",
+                "--work", "500000",
+                "--no-cache",
+                "--trace-dir", str(tmp_path),
+            ],
+            out=out,
+        )
+        text = out.getvalue()
+        assert code == 0
+        assert "tier2 LLC misses" in text
+
+    def test_list_includes_topologies(self):
+        import io
+
+        from repro.cli import main
+
+        out = io.StringIO()
+        assert main(["list"], out=out) == 0
+        assert "topologies: " in out.getvalue()
+        assert "dram-cxlz-nvme" in out.getvalue()
