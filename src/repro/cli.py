@@ -38,8 +38,10 @@ from repro.baselines import ALL_POLICIES, make_policy
 from repro.common.tables import format_count, format_table
 from repro.core.calibration import calibrate_k
 from repro.exp import report as exp_report
+from repro.exp import service
 from repro.exp.cache import ResultStore, reset_default_store, set_default_store
 from repro.exp.runner import run_experiment
+from repro.exp.store import open_store
 from repro.exp.spec import ExperimentSpec, WorkloadSpec
 from repro.mem.page import Tier, tier_label
 from repro.mem.topology import DEMOTION_MODES, TOPOLOGY_NAMES, make_topology
@@ -96,6 +98,38 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--ratios", nargs="+", default=list(PAPER_RATIOS))
     bench_p.add_argument("--seeds", nargs="+", type=int, default=[0])
     _common_args(bench_p, cache_dir_default=DEFAULT_BENCH_CACHE)
+
+    camp_p = sub.add_parser(
+        "campaign",
+        help="stream a large grid through the persistent worker-pool service",
+    )
+    camp_p.add_argument("--workloads", nargs="+", default=["gups"], choices=ALL_WORKLOADS)
+    camp_p.add_argument(
+        "--policies", nargs="+", default=["PACT", "Colloid", "Memtis", "NBT", "NoTier"]
+    )
+    camp_p.add_argument("--ratios", nargs="+", default=list(PAPER_RATIOS))
+    camp_p.add_argument("--seeds", nargs="+", type=int, default=[0])
+    camp_p.add_argument(
+        "--store", choices=("sqlite", "json"), default="sqlite", dest="store_backend",
+        help="result-store backend (default: sqlite with batched commits)",
+    )
+    camp_p.add_argument(
+        "--retries", type=int, default=service.DEFAULT_RETRIES,
+        help="re-dispatches per failed request before giving up (default: %(default)s)",
+    )
+    camp_p.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-request deadline in seconds; a hung worker is killed and respawned",
+    )
+    camp_p.add_argument(
+        "--progress-interval", type=float, default=service.DEFAULT_PROGRESS_INTERVAL,
+        help="seconds between live progress lines (default: %(default)s)",
+    )
+    camp_p.add_argument(
+        "--table", action="store_true",
+        help="also print the per-ratio slowdown tables (small grids only)",
+    )
+    _common_args(camp_p, cache_dir_default=DEFAULT_BENCH_CACHE)
 
     trace_p = sub.add_parser(
         "trace",
@@ -256,7 +290,11 @@ def _experiment_store(args):
     directory = None
     if not getattr(args, "no_cache", False):
         directory = getattr(args, "cache_dir", None)
-    store = ResultStore(directory)
+    backend = getattr(args, "store_backend", "json")
+    if directory is not None:
+        store = open_store(directory, backend=backend)
+    else:
+        store = ResultStore(None)  # memory-only; backend needs a directory
     set_default_store(store)
     trace_dir = getattr(args, "trace_dir", None)
     if trace_dir is None and directory is not None:
@@ -268,6 +306,9 @@ def _experiment_store(args):
     try:
         yield store
     finally:
+        close = getattr(store, "close", None)
+        if callable(close):
+            close()  # flush any batched sqlite commits
         reset_default_store()
         tracestore.reset_default_trace_store()
         tracestore.set_replay_override(previous_replay)
@@ -385,6 +426,87 @@ def cmd_bench(args, out) -> int:
                 print("", file=out)
         print(store.summary(), file=out)
     return 0
+
+
+def cmd_campaign(args, out) -> int:
+    """Stream a (workload x policy x ratio x seed) grid through the
+    persistent worker-pool service with live progress and a failure
+    ledger.  Unlike ``bench`` the pool is spawned once and fed over a
+    work queue, results land in the campaign store (SQLite by default),
+    and a crashed/hung worker costs one request, not the campaign.
+    """
+    config = _config(args)
+    spec = ExperimentSpec(
+        workloads={
+            name: WorkloadSpec.registry(name, total_misses=args.work)
+            for name in args.workloads
+        },
+        policies=list(args.policies),
+        ratios=list(args.ratios),
+        seeds=tuple(args.seeds),
+        config=config,
+    )
+    requests = spec.expand()
+    n_unique = len({r.key for r in requests})
+    jobs = args.jobs if args.jobs is not None else 0  # campaign default: all cores
+
+    def progress(gauges):
+        utils = [v for k, v in gauges.items() if k.endswith("/utilisation")]
+        util = sum(utils) / len(utils) if utils else 0.0
+        print(
+            f"[campaign] {int(gauges.get('campaign/completed', 0))}/{n_unique} done, "
+            f"queue {int(gauges.get('campaign/queue_depth', 0))}, "
+            f"in-flight {int(gauges.get('campaign/in_flight', 0))}, "
+            f"hit-rate {gauges.get('campaign/cache_hit_rate', 0.0):.0%}, "
+            f"util {util:.0%}, "
+            f"re-records {int(gauges.get('campaign/re_records', 0))}",
+            file=out,
+        )
+
+    with _experiment_store(args) as store:
+        with service.CampaignDriver(
+            jobs=jobs,
+            store=store,
+            use_cache=not args.no_cache,
+            retries=args.retries,
+            timeout=args.timeout,
+            progress=progress,
+            progress_interval=args.progress_interval,
+        ) as driver:
+            result = driver.run(requests)
+        stats = result.stats
+        if args.table and result.ok:
+            for seed in args.seeds:
+                for ratio in args.ratios:
+                    print(f"slowdown vs DRAM-only at {ratio} (seed {seed}):", file=out)
+                    print(
+                        exp_report.workload_table(
+                            result, args.workloads, args.policies, ratio, seed=seed
+                        ),
+                        file=out,
+                    )
+                    print("", file=out)
+        rate = stats.executed / stats.elapsed_seconds if stats.elapsed_seconds else 0.0
+        print(
+            f"campaign: {stats.total_requests} requests ({stats.unique_requests} unique), "
+            f"{stats.cache_hits} cache hits, {stats.executed} executed, "
+            f"{stats.retries} retried, failures: {stats.failed_requests}",
+            file=out,
+        )
+        print(
+            f"traces recorded (warm-up): {stats.warmup_records}, "
+            f"trace re-records: {stats.re_records}",
+            file=out,
+        )
+        print(
+            f"elapsed {stats.elapsed_seconds:.1f}s, {rate:.2f} runs/s, "
+            f"workers {driver.jobs}, respawns {stats.respawns}",
+            file=out,
+        )
+        for rec in result.ledger:
+            print(f"  {rec.describe()}", file=out)
+        print(store.summary(), file=out)
+    return 0 if result.ok else 1
 
 
 def cmd_trace(args, out) -> int:
@@ -580,6 +702,7 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "compare": cmd_compare,
     "bench": cmd_bench,
+    "campaign": cmd_campaign,
     "trace": cmd_trace,
     "perf": cmd_perf,
     "calibrate": cmd_calibrate,

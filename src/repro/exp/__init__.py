@@ -8,6 +8,10 @@ The layer every consumer of the simulator goes through:
   shared with the engine's ideal/slow-only baseline helpers,
 * :mod:`repro.exp.parallel` -- process-pool fan-out for cache misses,
 * :mod:`repro.exp.runner` -- dedup + cache + execute + indexed results,
+* :mod:`repro.exp.store` -- SQLite result-store backend for
+  campaign-scale sweeps (batched commits, WAL, JSON-cache compatible),
+* :mod:`repro.exp.service` -- persistent worker pool + streaming
+  campaign driver with per-request failure isolation,
 * :mod:`repro.exp.report` -- the paper's recurring table shapes.
 """
 
@@ -20,12 +24,19 @@ from repro.exp.cache import (
     set_default_store,
     workload_fingerprint,
 )
-from repro.exp.parallel import resolve_jobs
+from repro.exp.parallel import RequestExecutionError, resolve_jobs
 from repro.exp.runner import (
     ExperimentResult,
     execute_request,
     run_experiment,
     run_requests,
+)
+from repro.exp.service import (
+    CampaignDriver,
+    CampaignResult,
+    FailureRecord,
+    WorkerPool,
+    run_campaign,
 )
 from repro.exp.spec import (
     DEFAULT_MAX_WINDOWS,
@@ -34,21 +45,30 @@ from repro.exp.spec import (
     RunRequest,
     WorkloadSpec,
 )
+from repro.exp.store import SqliteResultStore, open_store
 
 __all__ = [
     "CACHE_VERSION",
+    "CampaignDriver",
+    "CampaignResult",
     "DEFAULT_MAX_WINDOWS",
     "ExperimentResult",
     "ExperimentSpec",
+    "FailureRecord",
     "PolicySpec",
+    "RequestExecutionError",
     "ResultStore",
     "RunRequest",
+    "SqliteResultStore",
+    "WorkerPool",
     "WorkloadSpec",
     "content_hash",
     "execute_request",
     "get_default_store",
+    "open_store",
     "reset_default_store",
     "resolve_jobs",
+    "run_campaign",
     "run_experiment",
     "run_requests",
     "set_default_store",

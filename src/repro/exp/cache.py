@@ -241,24 +241,62 @@ class ResultStore:
         if cached is not None:
             self.memory_hits += 1
             return cached
-        if self.directory is not None:
-            path = self._path(key)
-            if path.is_file():
-                try:
-                    doc = json.loads(path.read_text())
-                except (OSError, json.JSONDecodeError):
-                    doc = None
-                if doc is not None and doc.get("version") == CACHE_VERSION:
-                    result = result_from_dict(doc["result"])
-                    self._memory[key] = result
-                    self.disk_hits += 1
-                    return result
+        result = self._load(key)
+        if result is not None:
+            self._memory[key] = result
+            self.disk_hits += 1
+            return result
         self.misses += 1
         return None
+
+    def _load(self, key: str) -> Optional[RunResult]:
+        """Read ``key`` from the persistent layer (None = miss).
+
+        Unreadable, corrupt, stale-version, or schema-incomplete files
+        are all misses -- and all except transiently-unreadable ones are
+        unlinked on detection, so a bad file is parsed (at most) once
+        instead of on every lookup until something overwrites it.
+        """
+        if self.directory is None:
+            return None
+        path = self._path(key)
+        if not path.is_file():
+            return None
+        try:
+            doc = json.loads(path.read_text())
+        except OSError:
+            return None  # transient (perms, races); leave the file alone
+        except json.JSONDecodeError:
+            self._discard(path)
+            return None
+        if not isinstance(doc, dict) or doc.get("version") != CACHE_VERSION:
+            self._discard(path)  # stale version: never readable again
+            return None
+        try:
+            return result_from_dict(doc["result"])
+        except (AttributeError, KeyError, TypeError, ValueError):
+            # Valid JSON but not a complete result document (foreign
+            # file, interrupted by an old non-atomic writer): a miss,
+            # not a KeyError out of get().
+            self._discard(path)
+            return None
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
 
     def put(self, key: str, result: RunResult, fingerprint: Optional[dict] = None) -> None:
         self._memory[key] = result
         self.puts += 1
+        self._publish(key, result, fingerprint)
+
+    def _publish(
+        self, key: str, result: RunResult, fingerprint: Optional[dict]
+    ) -> None:
+        """Write ``key`` to the persistent layer (no-op when memory-only)."""
         if self.directory is None:
             return
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -268,12 +306,19 @@ class ResultStore:
             "result": result_to_dict(result),
         }
         # Atomic publish: concurrent writers of the same key race benignly.
+        # I/O errors (full disk, read-only cache dir) degrade to a cache
+        # that simply does not persist; anything else -- e.g. a TypeError
+        # from an unserialisable metrics value -- surfaces to the caller.
+        # Either way the temp file never outlives the attempt.
         fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
         try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(doc, fh)
-            os.replace(tmp, self._path(key))
-        except OSError:
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(doc, fh)
+                os.replace(tmp, self._path(key))
+            except OSError:
+                pass
+        finally:
             try:
                 os.unlink(tmp)
             except OSError:

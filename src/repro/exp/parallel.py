@@ -36,11 +36,30 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return jobs
 
 
+class RequestExecutionError(RuntimeError):
+    """A request failed to execute; the message names which one.
+
+    Raised in place of the original exception so a failure inside a
+    many-thousand-run sweep identifies its request instead of
+    surfacing as a bare error from an anonymous worker.  The original
+    exception rides along as ``__cause__`` (same-process) and in the
+    message text (across pickling process boundaries).
+    """
+
+
 def _run_one(request) -> RunResult:
     # Imported lazily: runner imports this module.
     from repro.exp.runner import execute_request
 
-    return execute_request(request)
+    try:
+        return execute_request(request)
+    except RequestExecutionError:
+        raise
+    except Exception as exc:
+        label = getattr(request, "display", None) or repr(request)
+        raise RequestExecutionError(
+            f"request {label} failed: {type(exc).__name__}: {exc}"
+        ) from exc
 
 
 def _mp_context():
@@ -83,35 +102,44 @@ def reset_unpicklable_warnings() -> None:
     _WARNED_UNPICKLABLE.clear()
 
 
+def _warn_unpicklable(requests: Sequence) -> None:
+    offender = _first_unpicklable(requests)
+    key = _offender_key(offender)
+    if key not in _WARNED_UNPICKLABLE:
+        _WARNED_UNPICKLABLE.add(key)
+        label = getattr(offender, "display", None) or repr(offender)
+        warnings.warn(
+            f"execute_many: request {label!s} is not picklable "
+            f"(lambda/closure workload factory?); running all "
+            f"{len(requests)} requests serially in-process",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+
 def execute_many(requests: Sequence, jobs: Optional[int] = None) -> List[RunResult]:
     """Execute requests, preserving order; parallel when ``jobs`` > 1."""
     jobs = resolve_jobs(jobs)
     requests = list(requests)
     if jobs <= 1 or len(requests) <= 1:
         return [_run_one(r) for r in requests]
-    try:
-        pickle.dumps(requests)
-    except Exception:
-        # Lambda/closure factories cannot cross process boundaries.
-        offender = _first_unpicklable(requests)
-        key = _offender_key(offender)
-        if key not in _WARNED_UNPICKLABLE:
-            _WARNED_UNPICKLABLE.add(key)
-            label = getattr(offender, "display", None) or repr(offender)
-            warnings.warn(
-                f"execute_many: request {label!s} is not picklable "
-                f"(lambda/closure workload factory?); running all "
-                f"{len(requests)} requests serially in-process",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-        return [_run_one(r) for r in requests]
     workers = min(jobs, len(requests))
     # Without an explicit chunksize, pool.map dispatches one request per
     # IPC round-trip; batching amortises pickling over large sweeps
     # while still keeping every worker busy (4 waves per worker).
     chunksize = max(1, len(requests) // (workers * 4))
-    with ProcessPoolExecutor(
-        max_workers=workers, mp_context=_mp_context()
-    ) as pool:
-        return list(pool.map(_run_one, requests, chunksize=chunksize))
+    # No up-front picklability probe: pickling the whole request list
+    # twice doubled the serialisation cost of every large sweep just to
+    # catch the rare lambda-factory spec.  Let the pool's own dispatch
+    # discover the problem and fall back to serial execution then.
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=_mp_context()
+        ) as pool:
+            return list(pool.map(_run_one, requests, chunksize=chunksize))
+    except RequestExecutionError:
+        raise  # a request genuinely failed; nothing to fall back to
+    except (pickle.PicklingError, TypeError, AttributeError):
+        # Lambda/closure factories cannot cross process boundaries.
+        _warn_unpicklable(requests)
+        return [_run_one(r) for r in requests]

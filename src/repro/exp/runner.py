@@ -42,15 +42,17 @@ def _replay_workload(request: RunRequest, workload):
     Prefers the pre-recorded ``trace_path`` the runner attached before
     fan-out (one memory-mapped copy shared across worker processes via
     the page cache); unreadable/corrupt paths fall back to the trace
-    store, which re-records.  Bit-identity makes this swap invisible to
-    results and cache keys alike.
+    store, which re-records.  ``OSError`` covers a ``.npt`` deleted or
+    evicted mid-campaign -- without it one vanished file would crash a
+    worker instead of costing one re-record.  Bit-identity makes this
+    swap invisible to results and cache keys alike.
     """
     from repro.workloads import tracestore
 
     if request.trace_path:
         try:
             return tracestore.ReplayWorkload(tracestore.read_npt(request.trace_path))
-        except tracestore.TraceFormatError:
+        except (tracestore.TraceFormatError, OSError):
             pass
     store = tracestore.get_default_trace_store()
     return store.replay(workload, max_windows=request.max_windows)
@@ -230,7 +232,11 @@ def _prepare_replay(requests: Sequence[RunRequest]) -> None:
     for req in replaying:
         ident = (content_hash(req.workload.descriptor()), req.max_windows)
         if ident not in prepared:
-            _, data = store.ensure(req.workload.build(), req.max_windows)
+            # Spec-level ensure: an already-recorded stream attaches its
+            # .npt path without ever building the live workload.
+            _, data = store.ensure_spec(
+                req.workload.descriptor(), req.workload.build, req.max_windows
+            )
             prepared[ident] = str(data.path) if data.path is not None else None
         if req.trace_path is None and prepared[ident] is not None:
             req.trace_path = prepared[ident]

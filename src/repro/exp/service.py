@@ -1,0 +1,615 @@
+"""Fleet-scale campaign service: persistent workers, streaming driver.
+
+``run_requests`` fans each sweep out over a fresh ``ProcessPoolExecutor``
+-- fine for one figure, wasteful for a campaign of many specs (pool
+spin-up per sweep, chunked ``pool.map`` with all-or-nothing error
+semantics, one JSON file per result).  This module is the campaign-scale
+path the ROADMAP's "simulator as a backend" story runs on:
+
+* :class:`WorkerPool` spawns workers **once per campaign** and feeds
+  them one request at a time over per-worker pipes.  Workers replay
+  ``.npt`` traces memory-mapped from the shared trace store, so a
+  thousand runs over one workload touch one page-cache-warm copy.
+* :class:`CampaignDriver` streams any number of request lists (or
+  whole :class:`ExperimentSpec` grids) through one pool.  Every request
+  carries per-request failure isolation: a worker exception, crash, or
+  hang loses *that request* -- recorded in a failure ledger with the
+  request's display identity -- never the campaign.  Failed requests
+  are retried (fresh worker, same request) up to ``retries`` times.
+* Results stream into any :class:`~repro.exp.cache.ResultStore`;
+  campaigns default to the SQLite backend
+  (:class:`~repro.exp.store.SqliteResultStore`) whose batched commits
+  absorb 100k-run write rates.
+* Progress is published into a :class:`~repro.obs.MetricsRegistry`
+  (queue depth, in-flight count, per-worker utilisation, cache hit
+  rate, trace re-record count) that front ends poll for live display.
+
+Results are bit-identical to serial ``run_requests`` on the same
+request list: workers run the exact ``execute_request`` path, and the
+driver performs the same dedup + cache + replay-preparation steps.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _conn_wait
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.exp import parallel
+from repro.exp.cache import ResultStore, get_default_store
+from repro.exp.runner import ExperimentResult, _prepare_replay, execute_request
+from repro.exp.spec import ExperimentSpec, RunRequest
+from repro.obs import MetricsRegistry
+from repro.sim.metrics import RunResult
+
+#: Default per-request retry budget (a retry runs on a fresh worker).
+DEFAULT_RETRIES = 1
+
+#: Seconds between gauge refreshes / progress callbacks.
+DEFAULT_PROGRESS_INTERVAL = 2.0
+
+#: Event-loop poll granularity (seconds).
+_TICK = 0.1
+
+#: Failure kinds recorded in the ledger.
+FAILURE_EXCEPTION = "exception"  # the request raised inside a worker
+FAILURE_CRASH = "crash"          # the worker process died mid-request
+FAILURE_TIMEOUT = "timeout"      # the request exceeded the deadline
+
+
+@dataclass
+class FailureRecord:
+    """One failure event: which request, which way, which attempt."""
+
+    key: str
+    display: str
+    kind: str
+    error: str
+    attempt: int
+    final: bool = False
+
+    def describe(self) -> str:
+        state = "gave up" if self.final else "will retry"
+        return f"[{self.kind}] {self.display} (attempt {self.attempt}, {state}): {self.error}"
+
+
+@dataclass
+class CampaignStats:
+    """Execution accounting for one driver run."""
+
+    total_requests: int = 0
+    unique_requests: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    failures: int = 0          # failure events (incl. retried ones)
+    failed_requests: int = 0   # requests that exhausted their retries
+    retries: int = 0
+    respawns: int = 0
+    warmup_records: int = 0    # traces recorded while preparing replay
+    re_records: int = 0        # traces re-recorded during execution
+    elapsed_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+
+class CampaignResult(ExperimentResult):
+    """An :class:`ExperimentResult` plus the campaign's failure ledger."""
+
+    def __init__(
+        self,
+        requests: Sequence[RunRequest],
+        results: Dict[str, RunResult],
+        ledger: Sequence[FailureRecord],
+        stats: CampaignStats,
+    ):
+        super().__init__(requests, results)
+        self.ledger = list(ledger)
+        self.stats = stats
+
+    @property
+    def failed(self) -> List[FailureRecord]:
+        """Final (retry-exhausted) failures only."""
+        return [rec for rec in self.ledger if rec.final]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+
+# ---------------------------------------------------------------------------
+# Worker side.
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(conn, worker_index: int) -> None:
+    """Long-lived worker loop: recv request, execute, send result.
+
+    The per-result payload carries the worker-local trace-store record
+    counter so the driver can prove the zero-re-record property across
+    process boundaries (a worker that silently regenerated traffic
+    would otherwise be invisible to the parent's counters).
+    """
+    from repro.workloads.tracestore import get_default_trace_store
+
+    # Fork-inherited stores carry the parent's record counter (e.g. the
+    # warm-up recordings); report deltas relative to this worker's start
+    # so only traffic *this worker* regenerated counts as a re-record.
+    records_base = get_default_trace_store().records
+
+    def records_delta() -> int:
+        return get_default_trace_store().records - records_base
+
+    while True:
+        try:
+            item = conn.recv()
+        except (EOFError, OSError):
+            break
+        if item is None:
+            break
+        task_key, request = item
+        try:
+            result = execute_request(request)
+            payload = (task_key, True, result, records_delta())
+        except BaseException as exc:  # noqa: BLE001 - isolate *any* failure
+            payload = (task_key, False, f"{type(exc).__name__}: {exc}", records_delta())
+        try:
+            conn.send(payload)
+        except (BrokenPipeError, OSError):
+            break
+        except Exception as exc:  # unpicklable result: report, keep serving
+            try:
+                conn.send(
+                    (task_key, False,
+                     f"result not sendable: {type(exc).__name__}: {exc}",
+                     records_delta())
+                )
+            except Exception:
+                break
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+class _Worker:
+    """Parent-side handle: process, pipe, and utilisation accounting."""
+
+    __slots__ = (
+        "index", "process", "conn", "task", "busy_since",
+        "completed", "busy_seconds", "records_seen",
+    )
+
+    def __init__(self, index, process, conn):
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.task: Optional[RunRequest] = None
+        self.busy_since = 0.0
+        self.completed = 0
+        self.busy_seconds = 0.0
+        #: Last trace-store record counter this worker reported.
+        self.records_seen = 0
+
+    @property
+    def busy(self) -> bool:
+        return self.task is not None
+
+    def utilisation(self, now: float, since: float) -> float:
+        elapsed = max(now - since, 1e-9)
+        busy = self.busy_seconds + ((now - self.busy_since) if self.busy else 0.0)
+        return min(busy / elapsed, 1.0)
+
+
+class WorkerPool:
+    """A fixed-size pool of persistent request-executing processes.
+
+    Workers are spawned once (fork-preferred, exactly as
+    :mod:`repro.exp.parallel`) and survive across requests and across
+    driver runs; a crashed or killed worker is respawned transparently.
+    """
+
+    def __init__(self, jobs: Optional[int] = None, context=None):
+        self.jobs = max(1, parallel.resolve_jobs(jobs))
+        self._ctx = context if context is not None else parallel._mp_context()
+        self.respawns = 0
+        self.worker_re_records = 0
+        self._next_index = 0
+        self.workers: List[_Worker] = [self._spawn() for _ in range(self.jobs)]
+        self._closed = False
+
+    def _spawn(self) -> _Worker:
+        index = self._next_index
+        self._next_index += 1
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main, args=(child_conn, index), daemon=True,
+            name=f"repro-campaign-worker-{index}",
+        )
+        process.start()
+        child_conn.close()
+        return _Worker(index, process, parent_conn)
+
+    def respawn(self, worker: _Worker) -> _Worker:
+        """Replace a dead/hung worker in place with a fresh process."""
+        self.kill(worker)
+        fresh = self._spawn()
+        self.workers[self.workers.index(worker)] = fresh
+        self.respawns += 1
+        return fresh
+
+    def kill(self, worker: _Worker) -> None:
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.process.is_alive():
+            worker.process.terminate()
+        worker.process.join(timeout=5.0)
+        if worker.process.is_alive():  # pragma: no cover - stubborn child
+            worker.process.kill()
+            worker.process.join(timeout=5.0)
+
+    def note_records(self, worker: _Worker, reported: int) -> None:
+        """Fold a worker's trace-record counter into the pool total."""
+        if reported > worker.records_seen:
+            self.worker_re_records += reported - worker.records_seen
+            worker.records_seen = reported
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self.workers:
+            try:
+                worker.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self.workers:
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=2.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Driver side.
+# ---------------------------------------------------------------------------
+
+
+class CampaignDriver:
+    """Streams request lists through one persistent worker pool.
+
+    One driver serves a whole campaign: call :meth:`run` (or
+    :meth:`run_specs`) as many times as the campaign has phases; the
+    pool spins up on first use and is reused until :meth:`close`.
+
+    Failure semantics, per request: an exception inside the worker, a
+    worker crash, or a timeout records a :class:`FailureRecord` and --
+    while attempts remain -- requeues the request (crashes and timeouts
+    get a fresh worker; the dead one is respawned).  A request that
+    exhausts ``retries`` is a *final* failure: it is absent from the
+    result mapping (lookups raise ``KeyError``) and listed in
+    ``CampaignResult.failed``.  Nothing a single request does can lose
+    any other request's result.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        store: Optional[ResultStore] = None,
+        use_cache: bool = True,
+        retries: int = DEFAULT_RETRIES,
+        timeout: Optional[float] = None,
+        registry: Optional[MetricsRegistry] = None,
+        progress: Optional[Callable[[Dict[str, float]], None]] = None,
+        progress_interval: float = DEFAULT_PROGRESS_INTERVAL,
+        pool: Optional[WorkerPool] = None,
+    ):
+        self.jobs = max(1, parallel.resolve_jobs(jobs))
+        self.store = store
+        self.use_cache = use_cache
+        self.retries = max(0, int(retries))
+        self.timeout = timeout
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.progress = progress
+        self.progress_interval = progress_interval
+        self._pool = pool
+        self._started = time.monotonic()
+
+    # -- pool lifecycle ------------------------------------------------------
+
+    @property
+    def pool(self) -> Optional[WorkerPool]:
+        return self._pool
+
+    def _ensure_pool(self) -> WorkerPool:
+        if self._pool is None:
+            self._pool = WorkerPool(jobs=self.jobs)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "CampaignDriver":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- running -------------------------------------------------------------
+
+    def run_specs(self, specs: Sequence[ExperimentSpec]) -> CampaignResult:
+        """Expand several grids and stream them through the pool as one."""
+        requests: List[RunRequest] = []
+        for spec in specs:
+            requests.extend(spec.expand())
+        return self.run(requests)
+
+    def run(self, requests: Sequence[RunRequest]) -> CampaignResult:
+        from repro.workloads import tracestore
+
+        t0 = time.monotonic()
+        requests = list(requests)
+        store = self.store if self.store is not None else get_default_store()
+        stats = CampaignStats(total_requests=len(requests))
+
+        unique: List[RunRequest] = []
+        seen: Dict[str, RunRequest] = {}
+        for req in requests:
+            if req.key not in seen:
+                seen[req.key] = req
+                unique.append(req)
+        stats.unique_requests = len(unique)
+
+        results: Dict[str, RunResult] = {}
+        misses: List[RunRequest] = []
+        for req in unique:
+            cached = store.get(req.key) if self.use_cache else None
+            if cached is not None:
+                results[req.key] = cached
+            else:
+                misses.append(req)
+        stats.cache_hits = len(unique) - len(misses)
+
+        trace_store = tracestore.get_default_trace_store()
+        records_before = trace_store.records
+        _prepare_replay(misses)
+        stats.warmup_records = trace_store.records - records_before
+        records_at_execution = trace_store.records
+
+        ledger: List[FailureRecord] = []
+        if misses:
+            if self.jobs <= 1:
+                self._run_serial(misses, results, store, ledger, stats)
+            else:
+                self._run_pooled(misses, results, store, ledger, stats)
+
+        flush = getattr(store, "flush", None)
+        if callable(flush):
+            flush()
+
+        stats.re_records = trace_store.records - records_at_execution
+        if self._pool is not None:
+            stats.re_records += self._pool.worker_re_records
+            self._pool.worker_re_records = 0
+            stats.respawns = self._pool.respawns
+        stats.failures = len(ledger)
+        stats.failed_requests = sum(1 for rec in ledger if rec.final)
+        stats.elapsed_seconds = time.monotonic() - t0
+        self._publish(0, 0, results, stats, force=True)
+        return CampaignResult(requests, results, ledger, stats)
+
+    # -- serial path (jobs=1): same semantics, no processes ------------------
+
+    def _run_serial(self, misses, results, store, ledger, stats) -> None:
+        pending = deque(misses)
+        attempts: Dict[str, int] = {}
+        while pending:
+            req = pending.popleft()
+            attempt = attempts.get(req.key, 0) + 1
+            attempts[req.key] = attempt
+            try:
+                result = parallel._run_one(req)
+            except Exception as exc:
+                final = attempt > self.retries
+                ledger.append(
+                    FailureRecord(
+                        key=req.key, display=req.display, kind=FAILURE_EXCEPTION,
+                        error=str(exc), attempt=attempt, final=final,
+                    )
+                )
+                if not final:
+                    stats.retries += 1
+                    pending.append(req)
+                continue
+            self._complete(req, result, results, store, stats)
+            self._publish(len(pending), 0, results, stats)
+
+    # -- pooled path ---------------------------------------------------------
+
+    def _run_pooled(self, misses, results, store, ledger, stats) -> None:
+        pool = self._ensure_pool()
+        pending = deque(misses)
+        attempts: Dict[str, int] = {}
+        in_flight: Dict[int, RunRequest] = {}  # worker index -> request
+
+        def fail(worker, req, kind, error, requeue_ok=True):
+            attempt = attempts[req.key]
+            final = attempt > self.retries or not requeue_ok
+            ledger.append(
+                FailureRecord(
+                    key=req.key, display=req.display, kind=kind,
+                    error=error, attempt=attempt, final=final,
+                )
+            )
+            if not final:
+                stats.retries += 1
+                pending.append(req)
+
+        def release(worker, now):
+            worker.busy_seconds += now - worker.busy_since
+            worker.completed += 1
+            in_flight.pop(worker.index, None)
+            worker.task = None
+
+        while pending or in_flight:
+            now = time.monotonic()
+            # 1. Feed every idle worker.
+            for worker in pool.workers:
+                if worker.busy or not pending:
+                    continue
+                req = pending.popleft()
+                attempts[req.key] = attempts.get(req.key, 0) + 1
+                try:
+                    worker.conn.send((req.key, req))
+                except (BrokenPipeError, OSError):
+                    # Worker died between requests; replace and requeue
+                    # without charging the request an attempt.
+                    attempts[req.key] -= 1
+                    pending.appendleft(req)
+                    pool.respawn(worker)
+                    continue
+                except Exception:
+                    # Unpicklable request (lambda factory): run it here,
+                    # in-process, exactly like parallel's serial fallback.
+                    parallel._warn_unpicklable([req])
+                    try:
+                        result = parallel._run_one(req)
+                    except Exception as exc:
+                        fail(worker, req, FAILURE_EXCEPTION, str(exc))
+                    else:
+                        self._complete(req, result, results, store, stats)
+                    continue
+                worker.task = req
+                worker.busy_since = now
+                in_flight[worker.index] = req
+
+            # 2. Wait for any busy worker to report.
+            conns = [w.conn for w in pool.workers if w.busy]
+            ready = _conn_wait(conns, timeout=_TICK) if conns else []
+            now = time.monotonic()
+            for conn in ready:
+                worker = next(w for w in pool.workers if w.conn is conn)
+                req = worker.task
+                try:
+                    task_key, ok, payload, records = conn.recv()
+                except (EOFError, OSError):
+                    release(worker, now)
+                    pool.respawn(worker)
+                    fail(worker, req, FAILURE_CRASH,
+                         f"worker died mid-request (exit code "
+                         f"{worker.process.exitcode})")
+                    continue
+                pool.note_records(worker, records)
+                release(worker, now)
+                if ok:
+                    self._complete(req, payload, results, store, stats)
+                else:
+                    fail(worker, req, FAILURE_EXCEPTION, payload)
+
+            # 3. Liveness + deadline sweep over the still-busy workers.
+            for worker in list(pool.workers):
+                if not worker.busy:
+                    continue
+                req = worker.task
+                if not worker.process.is_alive():
+                    release(worker, now)
+                    pool.respawn(worker)
+                    fail(worker, req, FAILURE_CRASH,
+                         f"worker died mid-request (exit code "
+                         f"{worker.process.exitcode})")
+                elif (
+                    self.timeout is not None
+                    and now - worker.busy_since > self.timeout
+                ):
+                    release(worker, now)
+                    pool.respawn(worker)
+                    fail(worker, req, FAILURE_TIMEOUT,
+                         f"no result within {self.timeout:.1f}s; worker killed")
+
+            self._publish(len(pending), len(in_flight), results, stats)
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _complete(self, req, result, results, store, stats) -> None:
+        results[req.key] = result
+        stats.executed += 1
+        if self.use_cache:
+            store.put(req.key, result, fingerprint=req.fingerprint())
+
+    _last_publish = 0.0
+
+    def _publish(self, queue_depth, in_flight, results, stats, force=False) -> None:
+        now = time.monotonic()
+        if not force and now - self._last_publish < min(self.progress_interval, 0.5):
+            return
+        self._last_publish = now
+        reg = self.registry
+        reg.gauge("campaign/queue_depth", queue_depth)
+        reg.gauge("campaign/in_flight", in_flight)
+        reg.gauge("campaign/completed", len(results))
+        reg.gauge("campaign/executed", stats.executed)
+        reg.gauge("campaign/retries", stats.retries)
+        touched = stats.cache_hits + stats.executed
+        reg.gauge(
+            "campaign/cache_hit_rate",
+            stats.cache_hits / touched if touched else 0.0,
+        )
+        reg.gauge("campaign/re_records", stats.re_records)
+        pool = self._pool
+        if pool is not None:
+            since = self._started
+            for worker in pool.workers:
+                reg.gauge(
+                    f"campaign/worker{worker.index}/utilisation",
+                    worker.utilisation(now, since),
+                )
+        if self.progress is not None and (force or now - self._started > 0):
+            self.progress(reg.gauges())
+
+
+def run_campaign(
+    requests: Sequence[RunRequest],
+    jobs: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    use_cache: bool = True,
+    retries: int = DEFAULT_RETRIES,
+    timeout: Optional[float] = None,
+    registry: Optional[MetricsRegistry] = None,
+    progress: Optional[Callable[[Dict[str, float]], None]] = None,
+) -> CampaignResult:
+    """One-shot campaign over ``requests`` (pool torn down afterwards)."""
+    with CampaignDriver(
+        jobs=jobs, store=store, use_cache=use_cache, retries=retries,
+        timeout=timeout, registry=registry, progress=progress,
+    ) as driver:
+        return driver.run(requests)
+
+
+__all__ = [
+    "CampaignDriver",
+    "CampaignResult",
+    "CampaignStats",
+    "DEFAULT_RETRIES",
+    "FAILURE_CRASH",
+    "FAILURE_EXCEPTION",
+    "FAILURE_TIMEOUT",
+    "FailureRecord",
+    "WorkerPool",
+    "run_campaign",
+]

@@ -93,6 +93,10 @@ class MetricsRegistry:
         """Current gauge values, sorted by name (per-window snapshot)."""
         return {name: self._gauges[name] for name in sorted(self._gauges)}
 
+    def counters(self) -> Dict[str, float]:
+        """Current counter values, sorted by name."""
+        return {name: self._counters[name] for name in sorted(self._counters)}
+
     def snapshot(self) -> Dict[str, float]:
         """Flat, sorted view of every metric (the run-level summary).
 

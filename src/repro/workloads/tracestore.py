@@ -677,19 +677,44 @@ class TraceStore:
         key = self.key_for(workload, max_windows)
         data = self.get(key)
         if data is None:
-            data = record_stream(workload, max_windows=max_windows)
-            self.records += 1
-            path = self.path_for(key)
-            if path is not None:
-                try:
-                    write_npt(data, path)
-                    # Re-open memory-mapped so replays share the page
-                    # cache instead of this process's private arrays.
-                    data = read_npt(path)
-                except OSError:
-                    pass
-            self._remember(key, data)
+            data = self._record(workload, max_windows, key)
         return key, data
+
+    def ensure_spec(
+        self,
+        fingerprint: Dict[str, Any],
+        builder,
+        max_windows: int,
+    ) -> Tuple[str, TraceData]:
+        """Like :meth:`ensure`, keyed by fingerprint instead of instance.
+
+        ``builder`` is a zero-argument callable producing the live
+        workload; it is invoked only on a recording miss.  This is the
+        shared-map handoff path campaign drivers use: for the (typical)
+        case where the stream is already on disk, the workload is never
+        built at all -- the driver just attaches the memory-mappable
+        ``.npt`` path to thousands of requests.
+        """
+        key = trace_key(fingerprint, max_windows)
+        data = self.get(key)
+        if data is None:
+            data = self._record(builder(), max_windows, key)
+        return key, data
+
+    def _record(self, workload: Workload, max_windows: int, key: str) -> TraceData:
+        data = record_stream(workload, max_windows=max_windows)
+        self.records += 1
+        path = self.path_for(key)
+        if path is not None:
+            try:
+                write_npt(data, path)
+                # Re-open memory-mapped so replays share the page
+                # cache instead of this process's private arrays.
+                data = read_npt(path)
+            except OSError:
+                pass
+        self._remember(key, data)
+        return data
 
     def replay(
         self, workload: Workload, max_windows: int = 200_000, loop: bool = False

@@ -244,3 +244,181 @@ class TestFindSemantics:
             exp.find(workload="tiny", policy="NoTier")  # two ratios match
         one = exp.find(workload="tiny", policy="NoTier", ratio="1:2")
         assert one.ratio == "1:2"
+
+
+def failing_factory():
+    """Module-level factory (picklable) that always fails to build."""
+    raise ValueError("boom at build")
+
+
+def fake_result(**overrides):
+    from repro.sim.metrics import RunResult
+
+    base = dict(
+        workload="w", policy="p", ratio="1:1", runtime_cycles=10.0, windows=2,
+        promoted=1, demoted=0, migration_cost_cycles=1.0, total_stall_cycles=2.0,
+        total_misses=100.0, tier_misses={},
+    )
+    base.update(overrides)
+    return RunResult(**base)
+
+
+class TestCacheFailurePaths:
+    """Corrupt, partial, and stale cache files are misses, not crashes.
+
+    Each bad file is also unlinked on detection, so it is parsed once
+    rather than on every lookup for the rest of the campaign.
+    """
+
+    def test_valid_json_missing_result_key_is_miss_and_unlinked(self, tmp_path):
+        import json
+
+        from repro.exp.cache import CACHE_VERSION
+
+        store = ResultStore(tmp_path)
+        path = tmp_path / "deadbeef.json"
+        path.write_text(json.dumps({"version": CACHE_VERSION, "fingerprint": None}))
+        assert store.get("deadbeef") is None  # a miss, not a KeyError
+        assert not path.exists()
+
+    def test_stale_version_file_is_miss_and_unlinked(self, tmp_path):
+        import json
+
+        from repro.exp.cache import CACHE_VERSION, result_to_dict
+
+        store = ResultStore(tmp_path)
+        path = tmp_path / "cafe.json"
+        path.write_text(
+            json.dumps(
+                {"version": CACHE_VERSION - 1, "result": result_to_dict(fake_result())}
+            )
+        )
+        assert store.get("cafe") is None
+        assert not path.exists()
+
+    def test_corrupt_json_is_miss_and_unlinked(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = tmp_path / "f00d.json"
+        path.write_text('{"version": 2, "result": {tru')  # torn write
+        assert store.get("f00d") is None
+        assert not path.exists()
+
+    def test_result_field_of_wrong_shape_is_miss_and_unlinked(self, tmp_path):
+        import json
+
+        from repro.exp.cache import CACHE_VERSION
+
+        store = ResultStore(tmp_path)
+        path = tmp_path / "0ddb.json"
+        path.write_text(json.dumps({"version": CACHE_VERSION, "result": [1, 2, 3]}))
+        assert store.get("0ddb") is None
+        assert not path.exists()
+
+    def test_unserialisable_put_surfaces_and_leaves_no_tmp(self, tmp_path):
+        store = ResultStore(tmp_path)
+        bad = fake_result(workload_metrics={"x": object()})
+        with pytest.raises(TypeError):
+            store.put("bad", bad)
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert not (tmp_path / "bad.json").exists()
+        # The memory layer still serves it within this process.
+        assert store.get("bad") is bad
+
+
+class TestVanishedTraceFallback:
+    """A deleted/unreadable .npt costs one re-record, never a crash."""
+
+    def _request(self):
+        return RunRequest(
+            workload=tiny_spec(), policy=PolicySpec("NoTier"), replay=True
+        )
+
+    def test_deleted_npt_re_records(self, tmp_path):
+        import os
+
+        from repro.exp.runner import _prepare_replay, _replay_workload
+        from repro.workloads import tracestore
+
+        try:
+            tracestore.set_default_trace_store(
+                tracestore.TraceStore(tmp_path / "traces")
+            )
+            req = self._request()
+            _prepare_replay([req])
+            assert req.trace_path is not None
+            os.unlink(req.trace_path)
+            # A fresh store (cold memory layer, same directory) models a
+            # later campaign whose .npt was evicted underneath it.
+            fresh = tracestore.set_default_trace_store(
+                tracestore.TraceStore(tmp_path / "traces")
+            )
+            replayed = _replay_workload(req, req.workload.build())
+            assert isinstance(replayed, tracestore.ReplayWorkload)
+            assert fresh.records == 1
+        finally:
+            tracestore.reset_default_trace_store()
+
+    def test_read_error_falls_back_to_store(self, tmp_path, monkeypatch):
+        from repro.exp.runner import _replay_workload
+        from repro.workloads import tracestore
+
+        def denied(path):
+            raise OSError(13, "Permission denied", str(path))
+
+        monkeypatch.setattr(tracestore, "read_npt", denied)
+        try:
+            store = tracestore.set_default_trace_store(tracestore.TraceStore())
+            req = self._request()
+            req.trace_path = str(tmp_path / "unreadable.npt")
+            replayed = _replay_workload(req, req.workload.build())
+            assert isinstance(replayed, tracestore.ReplayWorkload)
+            assert store.records == 1
+        finally:
+            tracestore.reset_default_trace_store()
+
+
+class TestWorkerFailureIdentity:
+    """A failing request names itself, serial or parallel."""
+
+    def _doomed(self):
+        return RunRequest(
+            workload=WorkloadSpec.from_factory(failing_factory, label="doomed"),
+            policy=PolicySpec("NoTier"),
+            replay=False,
+        )
+
+    def test_serial_failure_names_request(self):
+        from repro.exp import parallel
+
+        with pytest.raises(parallel.RequestExecutionError, match="doomed/NoTier"):
+            parallel.execute_many([self._doomed()], jobs=1)
+
+    def test_pool_failure_names_request(self):
+        from repro.exp import parallel
+
+        ok = RunRequest(
+            workload=tiny_spec(), policy=PolicySpec("NoTier"), replay=False
+        )
+        with pytest.raises(parallel.RequestExecutionError) as excinfo:
+            parallel.execute_many([ok, self._doomed()], jobs=2)
+        assert "doomed" in str(excinfo.value)
+        assert "ValueError" in str(excinfo.value)  # original type rides along
+
+    def test_unpicklable_requests_fall_back_serially(self):
+        from repro.exp import parallel
+
+        lam = WorkloadSpec.from_factory(
+            lambda: TinyWorkload(total_misses=60_000, misses_per_window=30_000),
+            label="lam",
+        )
+        reqs = [
+            RunRequest(workload=lam, policy=PolicySpec("NoTier"), replay=False),
+            RunRequest(
+                workload=lam, policy=PolicySpec("NoTier"), ratio="1:2", replay=False
+            ),
+        ]
+        parallel.reset_unpicklable_warnings()
+        with pytest.warns(RuntimeWarning, match="lam"):
+            results = parallel.execute_many(reqs, jobs=2)
+        assert len(results) == 2
+        assert all(r.runtime_cycles > 0 for r in results)

@@ -103,6 +103,16 @@ class TestMetricsRegistry:
         reg.gauge("g", 7.5)
         assert reg.gauge_value("g") == 7.5
 
+    def test_bulk_accessors_sorted(self):
+        reg = MetricsRegistry()
+        reg.gauge("z", 1.0)
+        reg.gauge("a", 2.0)
+        reg.count("y", 3.0)
+        reg.count("b")
+        assert list(reg.gauges()) == ["a", "z"]
+        assert reg.counters() == {"b": 1.0, "y": 3.0}
+        assert list(reg.counters()) == ["b", "y"]
+
     def test_histogram_summary(self):
         reg = MetricsRegistry()
         for v in (1.0, 3.0, 8.0):
