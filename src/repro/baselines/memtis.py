@@ -15,6 +15,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.common.stats import quantiles_linear
 from repro.mem.page import HUGE_SHIFT, Tier
 from repro.sim.policy_api import Decision, Observation, TieringPolicy
 
@@ -107,7 +108,7 @@ class MemtisPolicy(TieringPolicy):
         if active.size <= capacity_units:
             return 0.0
         frac = 1.0 - capacity_units / active.size
-        return float(np.quantile(active, frac))
+        return float(quantiles_linear(active, np.asarray([frac]))[0])
 
     def debug_info(self):
         active = self._hotness[self._hotness > 0.0] if self._hotness is not None else []

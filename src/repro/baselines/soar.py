@@ -55,6 +55,7 @@ class SoarPolicy(TieringPolicy):
     synchronous_migration = False
     needs_pebs = False  # nothing sampled during the measured run
     needs_touched_pages = False
+    static_placement = True  # placement fixed by the offline plan
 
     def __init__(
         self,

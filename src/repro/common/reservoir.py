@@ -10,9 +10,11 @@ probability ``k / n``.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, Optional
 
 import numpy as np
+
+from repro.common.stats import _QUARTILE_QS, quantiles_linear
 
 
 class Reservoir:
@@ -23,11 +25,15 @@ class Reservoir:
             raise ValueError("reservoir capacity must be positive")
         self.capacity = capacity
         self._rng = rng if rng is not None else np.random.default_rng(0)
-        self._buffer: List[float] = []
+        # Preallocated sample buffer; only the first ``_size`` slots are
+        # live.  An ndarray (rather than a list) keeps quartiles() free
+        # of a per-call list-to-array conversion.
+        self._data = np.empty(capacity, dtype=np.float64)
+        self._size = 0
         self._seen = 0
 
     def __len__(self) -> int:
-        return len(self._buffer)
+        return self._size
 
     @property
     def seen(self) -> int:
@@ -36,18 +42,19 @@ class Reservoir:
 
     @property
     def full(self) -> bool:
-        return len(self._buffer) >= self.capacity
+        return self._size >= self.capacity
 
     def offer(self, value: float) -> bool:
         """Offer one observation; return True if it entered the buffer."""
         self._seen += 1
-        if len(self._buffer) < self.capacity:
-            self._buffer.append(float(value))
+        if self._size < self.capacity:
+            self._data[self._size] = value
+            self._size += 1
             return True
         # Algorithm 3, lines 4-6: replace slot rnd if rnd < capacity.
         slot = int(self._rng.integers(0, self._seen))
         if slot < self.capacity:
-            self._buffer[slot] = float(value)
+            self._data[slot] = value
             return True
         return False
 
@@ -63,16 +70,17 @@ class Reservoir:
         each, i.e. O(capacity * log(seen)) in total) touch the buffer.
         """
         if isinstance(values, np.ndarray):
-            values = values.astype(float, copy=False).ravel()
+            values = values.astype(np.float64, copy=False).ravel()
         else:
-            values = np.asarray(list(values), dtype=float)
+            values = np.asarray(list(values), dtype=np.float64)
         if values.size == 0:
             return
         start = 0
-        room = self.capacity - len(self._buffer)
+        room = self.capacity - self._size
         if room > 0:
             take = min(room, values.size)
-            self._buffer.extend(values[:take].tolist())
+            self._data[self._size : self._size + take] = values[:take]
+            self._size += take
             self._seen += take
             start = take
         rest = values[start:]
@@ -82,22 +90,21 @@ class Reservoir:
         slots = self._rng.integers(0, highs)
         self._seen += int(rest.size)
         hit = slots < self.capacity
-        # Later writes to the same slot win, exactly as in the loop.
-        for slot, value in zip(slots[hit].tolist(), rest[hit].tolist()):
-            self._buffer[slot] = value
+        # Duplicate slots resolve last-write-wins, exactly as in the loop.
+        self._data[slots[hit]] = rest[hit]
 
     def values(self) -> np.ndarray:
         """Copy of the current sample."""
-        return np.asarray(self._buffer, dtype=float)
+        return self._data[: self._size].copy()
 
     def quartiles(self) -> "tuple[float, float]":
         """(Q1, Q3) of the current sample; (0, 0) when empty."""
-        if not self._buffer:
+        if self._size == 0:
             return (0.0, 0.0)
-        q1, q3 = np.percentile(self._buffer, [25.0, 75.0])
+        q1, q3 = quantiles_linear(self._data[: self._size], _QUARTILE_QS)
         return float(q1), float(q3)
 
     def clear(self) -> None:
         """Drop the sample and the stream counter."""
-        self._buffer.clear()
+        self._size = 0
         self._seen = 0

@@ -32,12 +32,44 @@ def pearson(x: Sequence[float], y: Sequence[float]) -> float:
     return float(((ax - ax.mean()) * (ay - ay.mean())).mean() / (sx * sy))
 
 
+def quantiles_linear(values: np.ndarray, qs: np.ndarray) -> np.ndarray:
+    """``np.quantile(values, qs)`` bit for bit, minus the generic machinery.
+
+    ``np.quantile`` spends more time in axis/dtype dispatch than in the
+    partition for the small arrays the policies feed it every window.
+    This replica implements only the default ``'linear'`` method for a
+    1-D float64 array with no NaNs, reproducing numpy's arithmetic
+    exactly: virtual index ``q * (n - 1)``, a partition at the floor and
+    ceil positions, then numpy's ``_lerp`` including its ``t >= 0.5``
+    rewrite (``b - diff * (1 - t)``) so rounding matches in every bit.
+    """
+    n = values.size
+    virtual = qs * (n - 1.0)
+    prev = np.floor(virtual)
+    gamma = virtual - prev
+    lo = prev.astype(np.intp)
+    hi = np.minimum(lo + 1, n - 1)
+    # partition() accepts unsorted/duplicate kth, so skip the np.unique
+    # numpy's generic path pays -- the handful of positions the callers
+    # use never makes deduplication worthwhile.
+    part = np.partition(values, np.concatenate([lo, hi]))
+    a, b = part[lo], part[hi]
+    diff = b - a
+    out = a + diff * gamma
+    mask = gamma >= 0.5
+    out[mask] = b[mask] - diff[mask] * (1.0 - gamma[mask])
+    return out
+
+
+_QUARTILE_QS = np.array([0.25, 0.75])
+
+
 def quartiles(values: Sequence[float]) -> "tuple[float, float]":
     """Return (Q1, Q3) of ``values`` using linear interpolation."""
     arr = np.asarray(values, dtype=float)
     if arr.size == 0:
         return (0.0, 0.0)
-    q1, q3 = np.percentile(arr, [25.0, 75.0])
+    q1, q3 = quantiles_linear(arr, _QUARTILE_QS)
     return float(q1), float(q3)
 
 

@@ -21,6 +21,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from repro.common.stats import quantiles_linear
 from repro.common.units import PAGES_PER_HUGE_PAGE
 from repro.core.binning import AdaptiveBinner
 from repro.core.cooling import CoolingConfig
@@ -30,6 +31,9 @@ from repro.core.sampling import PacSampler
 from repro.core.tracker import PacTracker
 from repro.mem.page import Tier
 from repro.sim.policy_api import Decision, Observation, TieringPolicy
+
+#: Swap-profitability bar samples the 90th percentile of demoted values.
+_BAR_QS = np.array([0.9])
 
 
 def _top_k_indices(values: np.ndarray, k: int) -> Optional[np.ndarray]:
@@ -313,7 +317,7 @@ class PactPolicy(TieringPolicy):
         if outcome.demoted_pages.size and self.tracker is not None:
             self._demoted_since_plan = True
             victim_values = self.tracker.values_for(outcome.demoted_pages, metric=self.metric)
-            bar_sample = float(np.quantile(victim_values, 0.9))
+            bar_sample = float(quantiles_linear(victim_values, _BAR_QS)[0])
             self._eviction_bar += self._bar_gain * (bar_sample - self._eviction_bar)
 
     # -- introspection -------------------------------------------------------------------

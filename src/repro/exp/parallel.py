@@ -62,6 +62,23 @@ def _run_one(request) -> RunResult:
         ) from exc
 
 
+def _run_unit(unit):
+    """Execute one unit: a single request, or a multi-run group (list)."""
+    if not isinstance(unit, list):
+        return _run_one(unit)
+    from repro.exp.runner import execute_request_group
+
+    try:
+        return execute_request_group(unit)
+    except RequestExecutionError:
+        raise
+    except Exception as exc:
+        labels = ", ".join(getattr(r, "display", None) or repr(r) for r in unit)
+        raise RequestExecutionError(
+            f"request group [{labels}] failed: {type(exc).__name__}: {exc}"
+        ) from exc
+
+
 def _mp_context():
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context("fork" if "fork" in methods else None)
@@ -90,6 +107,8 @@ def _offender_key(offender) -> str:
     closure), so key on its qualified name: a sweep expanding one
     factory into hundreds of requests is one offence, not hundreds.
     """
+    if isinstance(offender, list) and offender:
+        offender = offender[0]
     workload = getattr(offender, "workload", None)
     factory = getattr(workload, "factory", None)
     if factory is not None:
@@ -119,15 +138,24 @@ def _warn_unpicklable(requests: Sequence) -> None:
 
 def execute_many(requests: Sequence, jobs: Optional[int] = None) -> List[RunResult]:
     """Execute requests, preserving order; parallel when ``jobs`` > 1."""
+    return execute_units(list(requests), jobs=jobs)
+
+
+def execute_units(units: Sequence, jobs: Optional[int] = None) -> List:
+    """Execute units (requests or multi-run groups), preserving order.
+
+    A single-request unit yields its :class:`RunResult`; a group unit
+    yields a list of results in member order.
+    """
     jobs = resolve_jobs(jobs)
-    requests = list(requests)
-    if jobs <= 1 or len(requests) <= 1:
-        return [_run_one(r) for r in requests]
-    workers = min(jobs, len(requests))
+    units = list(units)
+    if jobs <= 1 or len(units) <= 1:
+        return [_run_unit(u) for u in units]
+    workers = min(jobs, len(units))
     # Without an explicit chunksize, pool.map dispatches one request per
     # IPC round-trip; batching amortises pickling over large sweeps
     # while still keeping every worker busy (4 waves per worker).
-    chunksize = max(1, len(requests) // (workers * 4))
+    chunksize = max(1, len(units) // (workers * 4))
     # No up-front picklability probe: pickling the whole request list
     # twice doubled the serialisation cost of every large sweep just to
     # catch the rare lambda-factory spec.  Let the pool's own dispatch
@@ -136,10 +164,10 @@ def execute_many(requests: Sequence, jobs: Optional[int] = None) -> List[RunResu
         with ProcessPoolExecutor(
             max_workers=workers, mp_context=_mp_context()
         ) as pool:
-            return list(pool.map(_run_one, requests, chunksize=chunksize))
+            return list(pool.map(_run_unit, units, chunksize=chunksize))
     except RequestExecutionError:
         raise  # a request genuinely failed; nothing to fall back to
     except (pickle.PicklingError, TypeError, AttributeError):
         # Lambda/closure factories cannot cross process boundaries.
-        _warn_unpicklable(requests)
-        return [_run_one(r) for r in requests]
+        _warn_unpicklable(units)
+        return [_run_unit(u) for u in units]

@@ -10,7 +10,8 @@ that knows how to look runs up by (workload, policy, ratio, seed).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import os
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.exp import parallel
 from repro.exp.cache import ResultStore, get_default_store
@@ -104,6 +105,110 @@ def execute_request(request: RunRequest) -> RunResult:
             obs=obs,
         )
     return machine.run(max_windows=request.max_windows)
+
+
+#: Environment switch: any non-empty value disables multi-run grouping.
+MULTIRUN_ENV = "REPRO_NO_MULTIRUN"
+
+#: One unit of execution: a single request, or a group of requests that
+#: one :class:`~repro.sim.runbatch.MultiMachine` simulates in lockstep.
+RequestUnit = Union[RunRequest, List[RunRequest]]
+
+
+def execute_request_group(requests: Sequence[RunRequest]) -> List[RunResult]:
+    """Run a seed/ratio group of one (workload, policy) in lockstep.
+
+    All requests replay the same recorded trace; one
+    :class:`~repro.sim.runbatch.MultiMachine` steps them together and
+    fuses their stall solves.  Results are bit-identical to running each
+    request through :func:`execute_request`, in request order -- every
+    run still lands in the cache under its own key.  Groups the
+    lockstep executor rejects fall back to serial execution.
+    """
+    from repro.sim.runbatch import MultiMachine
+    from repro.workloads import tracestore
+
+    requests = list(requests)
+    if len(requests) == 1:
+        return [execute_request(requests[0])]
+    first = requests[0]
+    data = None
+    if first.trace_path:
+        try:
+            data = tracestore.read_npt(first.trace_path)
+        except (tracestore.TraceFormatError, OSError):
+            data = None
+    if data is None:
+        store = tracestore.get_default_trace_store()
+        _, data = store.ensure_spec(
+            first.workload.descriptor(), first.workload.build, first.max_windows
+        )
+    try:
+        machines = [
+            Machine(
+                workload=tracestore.ReplayWorkload(data),
+                policy=req.policy.build(),
+                config=req.config if req.config is not None else MachineConfig(),
+                ratio=req.ratio,
+                contender=req.contender,
+                seed=req.seed,
+            )
+            for req in requests
+        ]
+        multi = MultiMachine(machines)
+    except ValueError:
+        return [execute_request(req) for req in requests]
+    return multi.run(max_windows=first.max_windows)
+
+
+def _group_key(request: RunRequest) -> str:
+    """Group identity: the request fingerprint with seed and ratio nulled."""
+    from repro.exp.cache import content_hash
+
+    fp = request.fingerprint()
+    fp["seed"] = None
+    fp["ratio"] = None
+    return content_hash(fp)
+
+
+def group_requests(requests: Sequence[RunRequest]) -> List[RequestUnit]:
+    """Collapse run-axis-compatible requests into lockstep groups.
+
+    Policy-kind replayed requests that differ only in seed and/or
+    capacity ratio share one recorded trace and one machine shape, so
+    they become one multi-run unit.  Trace/telemetry requests and
+    non-replayed runs stay singles.  Unit order follows first
+    appearance, and member order within a group follows request order,
+    so fan-out results map back deterministically.  Set
+    ``REPRO_NO_MULTIRUN=1`` to force one-request units.
+    """
+    requests = list(requests)
+    if os.environ.get(MULTIRUN_ENV, ""):
+        return list(requests)
+    groups: Dict[object, List[RunRequest]] = {}
+    order: List[object] = []
+    for i, req in enumerate(requests):
+        if (
+            req.kind != KIND_POLICY
+            or req.trace
+            or req.obs
+            or not _replay_requested(req)
+        ):
+            key: object = ("single", i)
+        else:
+            key = _group_key(req)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(req)
+    units: List[RequestUnit] = []
+    for key in order:
+        members = groups[key]
+        if len(members) >= 2:
+            units.append(members)
+        else:
+            units.append(members[0])
+    return units
 
 
 class ExperimentResult:
@@ -269,10 +374,17 @@ def run_requests(
             misses.append(req)
 
     _prepare_replay(misses)
-    for req, result in zip(misses, parallel.execute_many(misses, jobs=jobs)):
-        results[req.key] = result
-        if use_cache:
-            store.put(req.key, result, fingerprint=req.fingerprint())
+    # Multi-run fast path: seed/ratio siblings of one (workload, policy)
+    # collapse into lockstep groups; each member still fans back out as
+    # its own result and cache entry.
+    units = group_requests(misses)
+    for unit, result in zip(units, parallel.execute_units(units, jobs=jobs)):
+        members = unit if isinstance(unit, list) else [unit]
+        run_results = result if isinstance(unit, list) else [result]
+        for req, run in zip(members, run_results):
+            results[req.key] = run
+            if use_cache:
+                store.put(req.key, run, fingerprint=req.fingerprint())
 
     return ExperimentResult(requests, results)
 

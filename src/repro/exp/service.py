@@ -39,7 +39,14 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.exp import parallel
 from repro.exp.cache import ResultStore, get_default_store
-from repro.exp.runner import ExperimentResult, _prepare_replay, execute_request
+from repro.exp.runner import (
+    ExperimentResult,
+    RequestUnit,
+    _prepare_replay,
+    execute_request,
+    execute_request_group,
+    group_requests,
+)
 from repro.exp.spec import ExperimentSpec, RunRequest
 from repro.obs import MetricsRegistry
 from repro.sim.metrics import RunResult
@@ -57,6 +64,19 @@ _TICK = 0.1
 FAILURE_EXCEPTION = "exception"  # the request raised inside a worker
 FAILURE_CRASH = "crash"          # the worker process died mid-request
 FAILURE_TIMEOUT = "timeout"      # the request exceeded the deadline
+
+
+def _unit_key(unit: RequestUnit) -> str:
+    """Hashable identity for one execution unit (attempt accounting)."""
+    if isinstance(unit, list):
+        return "group:" + unit[0].key
+    return unit.key
+
+
+def _unit_display(unit: RequestUnit) -> str:
+    if isinstance(unit, list):
+        return f"group[{len(unit)}] {unit[0].display} ..."
+    return unit.display
 
 
 @dataclass
@@ -151,7 +171,12 @@ def _worker_main(conn, worker_index: int) -> None:
             break
         task_key, request = item
         try:
-            result = execute_request(request)
+            # A list is a multi-run unit: one lockstep simulation whose
+            # payload is the members' results in member order.
+            if isinstance(request, list):
+                result = execute_request_group(request)
+            else:
+                result = execute_request(request)
             payload = (task_key, True, result, records_delta())
         except BaseException as exc:  # noqa: BLE001 - isolate *any* failure
             payload = (task_key, False, f"{type(exc).__name__}: {exc}", records_delta())
@@ -394,10 +419,15 @@ class CampaignDriver:
 
         ledger: List[FailureRecord] = []
         if misses:
+            # Multi-run fast path: seed/ratio siblings collapse into
+            # lockstep groups (one simulation each); a failed group is
+            # retried as independent single requests, so grouping never
+            # costs failure isolation.
+            units = group_requests(misses)
             if self.jobs <= 1:
-                self._run_serial(misses, results, store, ledger, stats)
+                self._run_serial(units, results, store, ledger, stats)
             else:
-                self._run_pooled(misses, results, store, ledger, stats)
+                self._run_pooled(units, results, store, ledger, stats)
 
         flush = getattr(store, "flush", None)
         if callable(flush):
@@ -416,50 +446,77 @@ class CampaignDriver:
 
     # -- serial path (jobs=1): same semantics, no processes ------------------
 
-    def _run_serial(self, misses, results, store, ledger, stats) -> None:
-        pending = deque(misses)
+    def _run_serial(self, units, results, store, ledger, stats) -> None:
+        pending = deque(units)
         attempts: Dict[str, int] = {}
         while pending:
-            req = pending.popleft()
-            attempt = attempts.get(req.key, 0) + 1
-            attempts[req.key] = attempt
+            unit = pending.popleft()
+            ukey = _unit_key(unit)
+            attempt = attempts.get(ukey, 0) + 1
+            attempts[ukey] = attempt
             try:
-                result = parallel._run_one(req)
+                result = parallel._run_unit(unit)
             except Exception as exc:
+                if isinstance(unit, list):
+                    # A group failure is never final: its members requeue
+                    # as independent singles with their own attempts.
+                    ledger.append(
+                        FailureRecord(
+                            key=ukey, display=_unit_display(unit),
+                            kind=FAILURE_EXCEPTION, error=str(exc),
+                            attempt=attempt, final=False,
+                        )
+                    )
+                    stats.retries += 1
+                    pending.extend(unit)
+                    continue
                 final = attempt > self.retries
                 ledger.append(
                     FailureRecord(
-                        key=req.key, display=req.display, kind=FAILURE_EXCEPTION,
+                        key=ukey, display=unit.display, kind=FAILURE_EXCEPTION,
                         error=str(exc), attempt=attempt, final=final,
                     )
                 )
                 if not final:
                     stats.retries += 1
-                    pending.append(req)
+                    pending.append(unit)
                 continue
-            self._complete(req, result, results, store, stats)
+            self._complete_unit(unit, result, results, store, stats)
             self._publish(len(pending), 0, results, stats)
 
     # -- pooled path ---------------------------------------------------------
 
-    def _run_pooled(self, misses, results, store, ledger, stats) -> None:
+    def _run_pooled(self, units, results, store, ledger, stats) -> None:
         pool = self._ensure_pool()
-        pending = deque(misses)
+        pending = deque(units)
         attempts: Dict[str, int] = {}
-        in_flight: Dict[int, RunRequest] = {}  # worker index -> request
+        in_flight: Dict[int, RequestUnit] = {}  # worker index -> unit
 
-        def fail(worker, req, kind, error, requeue_ok=True):
-            attempt = attempts[req.key]
+        def fail(worker, unit, kind, error, requeue_ok=True):
+            ukey = _unit_key(unit)
+            attempt = attempts[ukey]
+            if isinstance(unit, list):
+                # A group failure is never final: its members requeue as
+                # independent singles with their own attempt budgets.
+                ledger.append(
+                    FailureRecord(
+                        key=ukey, display=_unit_display(unit), kind=kind,
+                        error=error, attempt=attempt, final=False,
+                    )
+                )
+                stats.retries += 1
+                pending.extend(unit)
+                return
             final = attempt > self.retries or not requeue_ok
             ledger.append(
                 FailureRecord(
-                    key=req.key, display=req.display, kind=kind,
+                    key=ukey, display=unit.display, kind=kind,
                     error=error, attempt=attempt, final=final,
                 )
             )
             if not final:
                 stats.retries += 1
-                pending.append(req)
+                pending.append(unit)
 
         def release(worker, now):
             worker.busy_seconds += now - worker.busy_since
@@ -473,31 +530,32 @@ class CampaignDriver:
             for worker in pool.workers:
                 if worker.busy or not pending:
                     continue
-                req = pending.popleft()
-                attempts[req.key] = attempts.get(req.key, 0) + 1
+                unit = pending.popleft()
+                ukey = _unit_key(unit)
+                attempts[ukey] = attempts.get(ukey, 0) + 1
                 try:
-                    worker.conn.send((req.key, req))
+                    worker.conn.send((ukey, unit))
                 except (BrokenPipeError, OSError):
                     # Worker died between requests; replace and requeue
-                    # without charging the request an attempt.
-                    attempts[req.key] -= 1
-                    pending.appendleft(req)
+                    # without charging the unit an attempt.
+                    attempts[ukey] -= 1
+                    pending.appendleft(unit)
                     pool.respawn(worker)
                     continue
                 except Exception:
                     # Unpicklable request (lambda factory): run it here,
                     # in-process, exactly like parallel's serial fallback.
-                    parallel._warn_unpicklable([req])
+                    parallel._warn_unpicklable([unit])
                     try:
-                        result = parallel._run_one(req)
+                        result = parallel._run_unit(unit)
                     except Exception as exc:
-                        fail(worker, req, FAILURE_EXCEPTION, str(exc))
+                        fail(worker, unit, FAILURE_EXCEPTION, str(exc))
                     else:
-                        self._complete(req, result, results, store, stats)
+                        self._complete_unit(unit, result, results, store, stats)
                     continue
-                worker.task = req
+                worker.task = unit
                 worker.busy_since = now
-                in_flight[worker.index] = req
+                in_flight[worker.index] = unit
 
             # 2. Wait for any busy worker to report.
             conns = [w.conn for w in pool.workers if w.busy]
@@ -505,32 +563,32 @@ class CampaignDriver:
             now = time.monotonic()
             for conn in ready:
                 worker = next(w for w in pool.workers if w.conn is conn)
-                req = worker.task
+                unit = worker.task
                 try:
                     task_key, ok, payload, records = conn.recv()
                 except (EOFError, OSError):
                     release(worker, now)
                     pool.respawn(worker)
-                    fail(worker, req, FAILURE_CRASH,
+                    fail(worker, unit, FAILURE_CRASH,
                          f"worker died mid-request (exit code "
                          f"{worker.process.exitcode})")
                     continue
                 pool.note_records(worker, records)
                 release(worker, now)
                 if ok:
-                    self._complete(req, payload, results, store, stats)
+                    self._complete_unit(unit, payload, results, store, stats)
                 else:
-                    fail(worker, req, FAILURE_EXCEPTION, payload)
+                    fail(worker, unit, FAILURE_EXCEPTION, payload)
 
             # 3. Liveness + deadline sweep over the still-busy workers.
             for worker in list(pool.workers):
                 if not worker.busy:
                     continue
-                req = worker.task
+                unit = worker.task
                 if not worker.process.is_alive():
                     release(worker, now)
                     pool.respawn(worker)
-                    fail(worker, req, FAILURE_CRASH,
+                    fail(worker, unit, FAILURE_CRASH,
                          f"worker died mid-request (exit code "
                          f"{worker.process.exitcode})")
                 elif (
@@ -539,7 +597,7 @@ class CampaignDriver:
                 ):
                     release(worker, now)
                     pool.respawn(worker)
-                    fail(worker, req, FAILURE_TIMEOUT,
+                    fail(worker, unit, FAILURE_TIMEOUT,
                          f"no result within {self.timeout:.1f}s; worker killed")
 
             self._publish(len(pending), len(in_flight), results, stats)
@@ -551,6 +609,14 @@ class CampaignDriver:
         stats.executed += 1
         if self.use_cache:
             store.put(req.key, result, fingerprint=req.fingerprint())
+
+    def _complete_unit(self, unit, result, results, store, stats) -> None:
+        """Fan a unit's payload out: every member gets its own entry."""
+        if isinstance(unit, list):
+            for req, run in zip(unit, result):
+                self._complete(req, run, results, store, stats)
+        else:
+            self._complete(unit, result, results, store, stats)
 
     _last_publish = 0.0
 

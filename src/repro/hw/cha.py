@@ -60,9 +60,16 @@ class ChaTorCounters:
     ):
         self.noise = noise
         self._rng = rng if rng is not None else np.random.default_rng(0)
+        #: Optional whole-run jitter stream (:mod:`repro.hw.drawplan`):
+        #: serves the same generator's draws chunk-buffered, so the
+        #: counter values stay bit-identical to the unplanned path.
+        self._jitter_stream = None
         tiers = [tier_key(t) for t in range(num_tiers)]
         self._occupancy = {t: 0.0 for t in tiers}
         self._busy = {t: 0.0 for t in tiers}
+
+    def attach_jitter_stream(self, stream) -> None:
+        self._jitter_stream = stream
 
     def advance(self, shares: Sequence[GroupTierShare]) -> None:
         """Account one window's traffic into the cumulative counters."""
@@ -93,7 +100,13 @@ class ChaTorCounters:
         occ = batch.misses_f * lat
         busy = occ / batch.mlp
         if self.noise > 0.0:
-            jitter = np.exp(self._rng.normal(0.0, self.noise, size=(n, 2)))
+            if self._jitter_stream is not None:
+                # The live draw is row-major (occ_0, busy_0, occ_1, ...);
+                # a flat take of 2n reshaped the same way serves the
+                # identical values from the buffered stream.
+                jitter = self._jitter_stream.take(2 * n).reshape(n, 2)
+            else:
+                jitter = np.exp(self._rng.normal(0.0, self.noise, size=(n, 2)))
             occ = occ * jitter[:, 0]
             busy = busy * jitter[:, 1]
         tiers = batch.tiers
@@ -109,6 +122,8 @@ class ChaTorCounters:
     def _jitter(self) -> float:
         if self.noise <= 0.0:
             return 1.0
+        if self._jitter_stream is not None:
+            return float(self._jitter_stream.take(1)[0])
         return float(np.exp(self._rng.normal(0.0, self.noise)))
 
 

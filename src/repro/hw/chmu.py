@@ -82,19 +82,35 @@ class ChmuSampler:
 
     def _drain(self) -> PebsBatch:
         touched = np.flatnonzero(self._counts)
-        if touched.size == 0:
-            return PebsBatch.empty(rate=1)
-        if touched.size > self.hotlist_size:
-            counts = self._counts[touched]
-            keep = np.argpartition(counts, touched.size - self.hotlist_size)[
-                -self.hotlist_size :
-            ]
-            touched = touched[keep]
-        batch = PebsBatch(
-            pages=np.sort(touched),
-            counts=self._counts[np.sort(touched)],
-            rate=1,
-            overhead_cycles=self.readout_cycles,
+        batch = drain_hotlist(
+            touched, self._counts[touched], self.hotlist_size, self.readout_cycles
         )
         self._counts[:] = 0
         return batch
+
+
+def drain_hotlist(
+    touched: np.ndarray, counts: np.ndarray, hotlist_size: int, readout_cycles: float
+) -> PebsBatch:
+    """Emit the top-``hotlist_size`` pages of one epoch's counts.
+
+    ``touched`` must be sorted ascending with ``counts`` aligned (what
+    ``flatnonzero`` + a dense-counter gather produces); the whole-run
+    plan (:mod:`repro.hw.drawplan`) feeds the same layout from a sparse
+    sort + ``reduceat``, so selection -- including ``argpartition``'s
+    tie behaviour, which depends only on the input array -- and the
+    final sorted hotlist are bit-identical between the two callers.
+    """
+    if touched.size == 0:
+        return PebsBatch.empty(rate=1)
+    if touched.size > hotlist_size:
+        keep = np.argpartition(counts, touched.size - hotlist_size)[-hotlist_size:]
+        touched = touched[keep]
+        counts = counts[keep]
+    order = np.argsort(touched)
+    return PebsBatch(
+        pages=touched[order],
+        counts=counts[order],
+        rate=1,
+        overhead_cycles=readout_cycles,
+    )

@@ -1,0 +1,415 @@
+"""Whole-run RNG draw plans for replayed traffic streams.
+
+Once a traffic stream is recorded (:mod:`repro.workloads.tracestore`),
+every hardware consumer's per-window work is knowable ahead of the run:
+the CHA and perf counters draw a fixed number of jitter normals per
+share/tier, and -- for *static-placement* policies -- the (group, tier)
+share split itself never changes after preallocation.  This module
+exploits both:
+
+* :class:`NormalDrawStream` buffers a consumer's normal draws in large
+  chunks.  numpy's ``Generator.normal(size=k)`` consumes its bit stream
+  exactly like ``k`` sequential scalar calls, and any prefix of a
+  vector draw equals the same-length smaller draw, so chunked buffering
+  is **bit-identical** to the live per-call draws for any chunk size --
+  the stream just pays the C-dispatch cost once per chunk instead of
+  once per value.  Each stream owns its generator exclusively; values
+  drawn past the run's end are simply never observed.
+* :func:`build_static_batches` pre-splits the *whole run's* recorded
+  CSR columns by (window, group, tier) in one vectorised pass and hands
+  every window a pre-sliced :class:`~repro.hw.stall.ShareBatch` view --
+  rows in the exact legacy order (per group: tier 0 then tier 1, ...),
+  so solver, PEBS, CHA, and trace consumers see byte-identical inputs.
+* :func:`plan_pebs_batches` / :func:`plan_chmu_batches` precompute each
+  window's sampled :class:`~repro.hw.pebs.PebsBatch` from the static
+  split, walking the shares in the same order (and, for PEBS, drawing
+  from the same generator in the same sequence) as the live path.
+
+The plans engage automatically when a :class:`Machine` is driven by a
+non-looping :class:`~repro.workloads.tracestore.ReplayWorkload`; the
+static-split and sampler plans additionally require the policy to
+declare :attr:`~repro.sim.policy_api.TieringPolicy.static_placement`.
+Set ``REPRO_NO_DRAWPLAN=1`` to force the live per-window paths.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.hw.pebs import PebsBatch, PebsSampler
+from repro.hw.stall import ShareBatch
+
+#: Environment switch: any non-empty value disables all draw plans.
+ENV_DISABLE = "REPRO_NO_DRAWPLAN"
+
+#: Default chunk size (draws per refill) for buffered normal streams.
+DEFAULT_CHUNK = 8192
+
+
+def plans_enabled() -> bool:
+    return not os.environ.get(ENV_DISABLE, "")
+
+
+class NormalDrawStream:
+    """Chunk-buffered ``exp(Normal(0, scale))`` jitter factors.
+
+    Serves the exact value sequence that repeated scalar (or small
+    vector) ``exp(rng.normal(0, scale, ...))`` calls on the same
+    generator would produce: the generator's bit stream is consumed
+    identically, and ``np.exp`` is elementwise, so chunking changes
+    neither the draws nor their rounding.
+    """
+
+    __slots__ = ("_rng", "scale", "chunk", "_buf", "_pos")
+
+    def __init__(self, rng: np.random.Generator, scale: float, chunk: int = DEFAULT_CHUNK):
+        if scale <= 0.0:
+            raise ValueError("jitter stream needs a positive noise scale")
+        self._rng = rng
+        self.scale = scale
+        self.chunk = max(int(chunk), 1)
+        self._buf = np.empty(0, dtype=np.float64)
+        self._pos = 0
+
+    def take(self, n: int) -> np.ndarray:
+        """The next ``n`` jitter factors (a read-only-by-convention view)."""
+        end = self._pos + n
+        if end > self._buf.size:
+            self._refill(n)
+            end = n
+        out = self._buf[self._pos : end]
+        self._pos = end
+        return out
+
+    def _refill(self, need: int) -> None:
+        leftover = self._buf[self._pos :]
+        fresh = np.exp(
+            self._rng.normal(0.0, self.scale, size=max(self.chunk, need - leftover.size))
+        )
+        self._buf = np.concatenate([leftover, fresh]) if leftover.size else fresh
+        self._pos = 0
+
+
+def _empty_share_batch(num_tiers: int) -> ShareBatch:
+    return ShareBatch(
+        n=0,
+        group_index=np.empty(0, dtype=np.int64),
+        tier_codes=np.empty(0, dtype=np.intp),
+        mlp=np.empty(0, dtype=np.float64),
+        load_fraction=np.empty(0, dtype=np.float64),
+        misses=np.empty(0, dtype=np.int64),
+        offsets=np.zeros(1, dtype=np.int64),
+        pages_buf=np.empty(0, dtype=np.int64),
+        counts_buf=np.empty(0, dtype=np.int64),
+        labels=[],
+        unit_stall_cycles=np.empty(0, dtype=np.float64),
+        stall_scratch=np.empty(0, dtype=np.float64),
+        num_tiers=num_tiers,
+    )
+
+
+def build_static_batches(
+    data, placement: np.ndarray, num_tiers: int
+) -> List[Optional[ShareBatch]]:
+    """Pre-split every recorded window by a *frozen* placement.
+
+    One stable argsort of the whole trace's entries by (group, tier)
+    reproduces, per (group, tier), exactly the element order that the
+    per-window mask + ``np.compress`` split emits; segment offsets then
+    carve per-window :class:`ShareBatch` views straight out of the two
+    sorted whole-run buffers.  Returns one batch per recorded window
+    (``None`` for windows that emitted no groups -- the machine never
+    splits those).
+    """
+    c = data.columns
+    wgp = np.asarray(c["window_group_ptr"])
+    gpp = np.asarray(c["group_page_ptr"])
+    pages = np.asarray(c["pages"])
+    counts = np.asarray(c["counts"])
+    mlp_col = np.asarray(c["group_mlp"])
+    lf_col = np.asarray(c["group_load_fraction"])
+    lab_col = np.asarray(c["group_label"])
+    num_windows = wgp.size - 1
+    num_groups = gpp.size - 1
+    T = num_tiers
+
+    group_of = np.repeat(np.arange(num_groups, dtype=np.int64), np.diff(gpp))
+    key = group_of * T + placement[pages].astype(np.int64)
+    order = np.argsort(key, kind="stable")
+    pages_s = np.ascontiguousarray(pages[order])
+    counts_s = np.ascontiguousarray(counts[order])
+
+    sizes = np.bincount(key, minlength=num_groups * T)
+    rows = np.flatnonzero(sizes)
+    row_offsets = np.concatenate(
+        [np.zeros(1, dtype=np.int64), np.cumsum(sizes[rows], dtype=np.int64)]
+    )
+    row_group = rows // T
+    row_tier = (rows % T).astype(np.intp)
+    if rows.size:
+        row_misses = np.add.reduceat(counts_s, row_offsets[:-1])
+    else:
+        row_misses = np.empty(0, dtype=np.int64)
+    # Rows are group-ascending, groups are window-ascending, so each
+    # window's rows are one contiguous range.
+    row_window_ptr = np.searchsorted(row_group, wgp)
+    group_labels = [data.labels[int(code)] for code in lab_col]
+    unit_all = np.empty(rows.size, dtype=np.float64)
+    stall_all = np.empty(rows.size, dtype=np.float64)
+
+    batches: List[Optional[ShareBatch]] = []
+    for w in range(num_windows):
+        if wgp[w + 1] == wgp[w]:
+            batches.append(None)
+            continue
+        r0, r1 = int(row_window_ptr[w]), int(row_window_ptr[w + 1])
+        n = r1 - r0
+        if n == 0:
+            # Groups recorded, but every one of them was empty.
+            batches.append(_empty_share_batch(T))
+            continue
+        base = int(row_offsets[r0])
+        end = int(row_offsets[r1])
+        g = row_group[r0:r1]
+        batches.append(
+            ShareBatch(
+                n=n,
+                group_index=g - int(wgp[w]),
+                tier_codes=row_tier[r0:r1],
+                mlp=mlp_col[g],
+                load_fraction=lf_col[g],
+                misses=row_misses[r0:r1],
+                offsets=row_offsets[r0 : r1 + 1] - base,
+                pages_buf=pages_s[base:end],
+                counts_buf=counts_s[base:end],
+                labels=[group_labels[int(gi)] for gi in g],
+                unit_stall_cycles=unit_all[r0:r1],
+                stall_scratch=stall_all[r0:r1],
+                num_tiers=T,
+            )
+        )
+    return batches
+
+
+class StaticSplitPlan:
+    """Per-window pre-sliced share batches for a frozen placement."""
+
+    __slots__ = ("_batches",)
+
+    def __init__(self, batches: List[Optional[ShareBatch]]):
+        self._batches = batches
+
+    def window_batch(self, window: int) -> ShareBatch:
+        batch = self._batches[window]
+        if batch is None:  # pragma: no cover - machine never splits empty windows
+            raise LookupError(f"window {window} recorded no groups")
+        return batch
+
+    @property
+    def batches(self) -> List[Optional[ShareBatch]]:
+        return self._batches
+
+
+class WindowSamplePlan:
+    """Precomputed per-window :class:`PebsBatch` stream."""
+
+    __slots__ = ("_batches",)
+
+    def __init__(self, batches: List[Optional[PebsBatch]]):
+        self._batches = batches
+
+    def batch_for(self, window: int) -> PebsBatch:
+        batch = self._batches[window]
+        if batch is None:  # pragma: no cover - machine never samples empty windows
+            raise LookupError(f"window {window} recorded no groups")
+        return batch
+
+
+class WindowSolvePlan:
+    """Pre-solved :class:`~repro.hw.stall.WindowHardware` per window."""
+
+    __slots__ = ("_outcomes",)
+
+    def __init__(self, outcomes: List):
+        self._outcomes = outcomes
+
+    def outcome_for(self, window: int):
+        outcome = self._outcomes[window]
+        if outcome is None:  # pragma: no cover - machine never solves empty windows
+            raise LookupError(f"window {window} recorded no groups")
+        return outcome
+
+
+def plan_window_solves(model, batches: List[Optional[ShareBatch]], compute_cycles) -> WindowSolvePlan:
+    """Solve the whole run's stall fixed points in one batched pass.
+
+    With a static placement, no PEBS overhead, and no MLC contender,
+    every window's solve inputs are already final at attach time: the
+    pre-split :class:`ShareBatch`, the recorded compute cycles, and
+    zero carried-over bytes/cycles (migration copies and sampling drains
+    are the only sources of either, and a static no-PEBS run produces
+    neither).  The windows are therefore independent fixed points, and
+    ``solve_many`` -- whose per-element bit-identity to serial solves
+    the multi-run tests pin -- computes them all in one fused pass.
+    """
+    idx = [w for w, b in enumerate(batches) if b is not None]
+    solved = model.solve_many(
+        [batches[w] for w in idx],
+        [float(compute_cycles[w]) for w in idx],
+        [None] * len(idx),
+        [0.0] * len(idx),
+    )
+    outcomes: List = [None] * len(batches)
+    for w, outcome in zip(idx, solved):
+        outcomes[w] = outcome
+    return WindowSolvePlan(outcomes)
+
+
+def plan_pebs_batches(
+    sampler: PebsSampler,
+    batches: List[Optional[ShareBatch]],
+    tiers: Tuple,
+) -> WindowSamplePlan:
+    """Draw the whole run's PEBS samples up front, in live stream order.
+
+    The two binomials per share are sequenced (the record draw thins
+    the load draw's output), so the draws cannot be batched across
+    shares -- but with a static placement every share's counts are
+    known now, and the live path only ever samples non-empty windows in
+    window order.  Replaying that exact call sequence here consumes the
+    sampler's generator bit-identically and moves the whole RNG tail
+    (and the per-window merge) out of the measured loop.
+    """
+    return WindowSamplePlan(
+        [None if b is None else sampler.sample(b, tiers=tiers) for b in batches]
+    )
+
+
+def plan_chmu_batches(sampler, batches: List[Optional[ShareBatch]]) -> WindowSamplePlan:
+    """Precompute every CHMU epoch drain from the static split.
+
+    CHMU sampling is RNG-free integer accumulation, so epochs can be
+    aggregated with one sort + ``reduceat`` over the epoch's slow-tier
+    entries instead of per-window ``np.add.at`` into a footprint-sized
+    counter array; integer sums are order-exact, and the drain helper
+    is the very code the live sampler runs.
+    """
+    from repro.hw.chmu import drain_hotlist
+
+    code = int(sampler.tier)
+    out: List[Optional[PebsBatch]] = []
+    epoch_pages: List[np.ndarray] = []
+    epoch_counts: List[np.ndarray] = []
+    in_epoch = 0
+    for batch in batches:
+        if batch is None:
+            out.append(None)
+            continue
+        for i in range(batch.n):
+            if int(batch.tier_codes[i]) == code:
+                epoch_pages.append(batch.pages_of(i))
+                epoch_counts.append(batch.counts_of(i))
+        in_epoch += 1
+        if in_epoch < sampler.epoch_windows:
+            out.append(PebsBatch.empty(rate=1))
+            continue
+        in_epoch = 0
+        if epoch_pages:
+            flat_pages = np.concatenate(epoch_pages)
+            flat_counts = np.concatenate(epoch_counts)
+            sort = np.argsort(flat_pages, kind="stable")
+            touched, first = np.unique(flat_pages[sort], return_index=True)
+            sums = np.add.reduceat(flat_counts[sort], first)
+            live = sums > 0
+            out.append(
+                drain_hotlist(
+                    touched[live], sums[live], sampler.hotlist_size, sampler.readout_cycles
+                )
+            )
+            epoch_pages, epoch_counts = [], []
+        else:
+            out.append(PebsBatch.empty(rate=1))
+    return WindowSamplePlan(out)
+
+
+def attach(machine) -> bool:
+    """Wire whole-run draw plans into ``machine`` when replay drives it.
+
+    Called at the end of ``Machine.__init__`` (placement is settled by
+    then).  Jitter streams engage for every policy; the static split
+    and sampler plans additionally need ``policy.static_placement`` and
+    a fully preallocated footprint.  Returns True when anything engaged.
+    """
+    if not plans_enabled():
+        return False
+    from repro.workloads.tracestore import ReplayWorkload
+
+    workload = machine.workload
+    if not isinstance(workload, ReplayWorkload) or workload.loop:
+        return False
+    data = workload.trace_data
+    engaged = False
+    if machine.cha.noise > 0.0:
+        machine.cha.attach_jitter_stream(
+            NormalDrawStream(machine.cha._rng, machine.cha.noise)
+        )
+        engaged = True
+    if machine.perf.noise > 0.0:
+        wgp = np.asarray(data.columns["window_group_ptr"])
+        nonempty = int(np.count_nonzero(np.diff(wgp)))
+        total = 2 * machine.num_tiers * nonempty
+        if total > 0:
+            machine.perf.attach_jitter_stream(
+                NormalDrawStream(machine.perf._rng, machine.perf.noise, chunk=total)
+            )
+            engaged = True
+    policy = machine.policy
+    if getattr(policy, "static_placement", False) and machine.memory.fully_allocated:
+        batches = build_static_batches(data, machine.memory.placement, machine.num_tiers)
+        machine._split_plan = StaticSplitPlan(batches)
+        engaged = True
+        if (
+            not policy.needs_pebs
+            and machine.contender is None
+            and not machine.obs.enabled
+        ):
+            # No PEBS drain, no contender, no per-window observability:
+            # every window's solve inputs are final now, so solve the
+            # whole run up front (obs-enabled runs keep the live path to
+            # preserve per-window accounting gauges).
+            machine._solve_plan = plan_window_solves(
+                machine.stall_model, batches, data.columns["window_compute"]
+            )
+        if policy.needs_pebs:
+            sampler = machine.pebs
+            if isinstance(sampler, PebsSampler) and not sampler.report_latency:
+                # TPEBS latency reporting reads each share's *solved*
+                # unit stall cost, which is unknown before the run --
+                # those samplers keep the live path.
+                machine._pebs_plan = plan_pebs_batches(
+                    sampler, batches, machine._pebs_tiers()
+                )
+            else:
+                from repro.hw.chmu import ChmuSampler
+
+                if isinstance(sampler, ChmuSampler):
+                    machine._pebs_plan = plan_chmu_batches(sampler, batches)
+    return engaged
+
+
+__all__ = [
+    "ENV_DISABLE",
+    "NormalDrawStream",
+    "StaticSplitPlan",
+    "WindowSamplePlan",
+    "WindowSolvePlan",
+    "attach",
+    "build_static_batches",
+    "plan_chmu_batches",
+    "plan_pebs_batches",
+    "plan_window_solves",
+    "plans_enabled",
+]

@@ -123,19 +123,35 @@ class PebsSampler:
         records = records[hit]
         if pages.size == 0:
             return PebsBatch.empty(self.rate)
-        # The same page can appear in several groups; merge duplicates
-        # (record-weighted mean for latencies).  bincount accumulates in
-        # input-element order, i.e. bit-identically to a np.add.at loop,
-        # and integer-valued float64 sums are exact far beyond any
-        # realistic record count.
-        uniq, inverse = np.unique(pages, return_inverse=True)
-        merged = np.bincount(inverse, weights=records, minlength=uniq.size).astype(np.int64)
-        latencies = None
-        if self.report_latency:
-            sizes = [p.size for p in all_pages]
-            lat = np.repeat(np.asarray(share_units, dtype=float), sizes)[hit]
-            weighted = np.bincount(inverse, weights=lat * records, minlength=uniq.size)
-            latencies = weighted / np.maximum(merged, 1)
+        if len(all_pages) == 1 and _strictly_increasing(pages):
+            # One contributing share with already-unique sorted pages
+            # (the common single-group-window case): the merge pass has
+            # nothing to merge, so skip np.unique/bincount entirely.
+            # The boolean-mask indexing above already produced fresh
+            # arrays, so nothing here aliases solver scratch.
+            uniq = pages
+            merged = records
+            latencies = None
+            if self.report_latency:
+                # One share, one unit latency; the merged-path division
+                # (records * unit / records) is reproduced exactly so
+                # the emitted floats match bit for bit.
+                lat = np.full(uniq.size, share_units[0], dtype=float)
+                latencies = (lat * merged) / np.maximum(merged, 1)
+        else:
+            # The same page can appear in several groups; merge duplicates
+            # (record-weighted mean for latencies).  bincount accumulates in
+            # input-element order, i.e. bit-identically to a np.add.at loop,
+            # and integer-valued float64 sums are exact far beyond any
+            # realistic record count.
+            uniq, inverse = np.unique(pages, return_inverse=True)
+            merged = np.bincount(inverse, weights=records, minlength=uniq.size).astype(np.int64)
+            latencies = None
+            if self.report_latency:
+                sizes = [p.size for p in all_pages]
+                lat = np.repeat(np.asarray(share_units, dtype=float), sizes)[hit]
+                weighted = np.bincount(inverse, weights=lat * records, minlength=uniq.size)
+                latencies = weighted / np.maximum(merged, 1)
         total = int(merged.sum())
         return PebsBatch(
             pages=uniq,
@@ -144,6 +160,13 @@ class PebsSampler:
             overhead_cycles=total * self.cycles_per_record,
             latencies=latencies,
         )
+
+
+def _strictly_increasing(pages: np.ndarray) -> bool:
+    """True when ``pages`` is sorted ascending with no duplicates."""
+    if pages.size <= 1:
+        return True
+    return bool(np.all(pages[1:] > pages[:-1]))
 
 
 def _tier_share_rows(shares, tiers: "tuple[Tier, ...]"):

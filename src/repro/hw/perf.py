@@ -71,6 +71,8 @@ class PerfCounters:
     ):
         self.noise = noise
         self._rng = rng if rng is not None else np.random.default_rng(0)
+        #: Optional whole-run jitter stream (:mod:`repro.hw.drawplan`).
+        self._jitter_stream = None
         self._cycles = 0.0
         tiers = [tier_key(t) for t in range(num_tiers)]
         self._llc_misses = {t: 0.0 for t in tiers}
@@ -81,11 +83,27 @@ class PerfCounters:
     def advance(self, outcome: WindowHardware) -> None:
         """Account one solved window into the cumulative counters."""
         self._cycles += outcome.duration_cycles
-        for tier, load in outcome.tier_loads.items():
+        loads = outcome.tier_loads
+        if self._jitter_stream is not None and self.noise > 0.0:
+            # Exactly 2 draws per tier per window, in tier order -- the
+            # same stream positions the scalar _jitter() calls consume.
+            jitter = self._jitter_stream.take(2 * len(loads))
+            k = 0
+            for tier, load in loads.items():
+                self._llc_misses[tier] += load.misses * float(jitter[k])
+                self._stalls[tier] += load.stall_cycles * float(jitter[k + 1])
+                self._bytes[tier] += load.bytes
+                self._latency[tier] = load.effective_latency_cycles
+                k += 2
+            return
+        for tier, load in loads.items():
             self._llc_misses[tier] += load.misses * self._jitter()
             self._stalls[tier] += load.stall_cycles * self._jitter()
             self._bytes[tier] += load.bytes
             self._latency[tier] = load.effective_latency_cycles
+
+    def attach_jitter_stream(self, stream) -> None:
+        self._jitter_stream = stream
 
     def read(self) -> PerfSnapshot:
         return PerfSnapshot(

@@ -518,6 +518,108 @@ class StallModel:
             duration_cycles=duration,
         )
 
+    def solve_many(
+        self,
+        batches: Sequence[ShareBatch],
+        compute_cycles: Sequence[float],
+        extra_bytes_list: Sequence[Optional[Dict[Tier, float]]],
+        extra_cycles_list: Sequence[float],
+    ) -> List[WindowHardware]:
+        """Solve one window for ``R`` independent runs in one batched pass.
+
+        The multi-run driver (:mod:`repro.sim.runbatch`) steps R machines
+        over the *same* recorded trace in lockstep; their per-window
+        solves are independent, so the per-share numpy work is fused:
+        every run's share columns concatenate into flat buffers with
+        tier codes offset by ``r * num_tiers``, and each fixed-point
+        iteration runs one take/divide/multiply/bincount over all runs
+        at once (bincount buckets ``r*T + t`` receive exactly run r's
+        rows in row order, so per-bucket float accumulation matches the
+        per-run bincount bit for bit).  The per-(run, tier) latency and
+        duration updates stay the scalar expressions of
+        :meth:`_solve_batch` verbatim, so every returned
+        :class:`WindowHardware` is bit-identical to R serial solves.
+        """
+        R = len(batches)
+        T = self.num_tiers
+        loads_list: List[Dict[Tier, TierLoad]] = []
+        for r in range(R):
+            extra = extra_bytes_list[r] or {}
+            loads = {tier_key(t): TierLoad(tier=tier_key(t)) for t in range(T)}
+            for tier, load in loads.items():
+                load.misses = batches[r].tier_misses[int(tier)]
+                demand_bytes = load.misses * CACHE_LINE_SIZE
+                load.bytes = demand_bytes * (1.0 + self.prefetch_traffic_factor)
+                load.bytes += float(extra.get(tier, 0.0))
+            loads_list.append(loads)
+
+        sizes = [b.n for b in batches]
+        bounds = [0]
+        for s in sizes:
+            bounds.append(bounds[-1] + s)
+        flat_codes = np.concatenate(
+            [np.asarray(b.tier_codes, dtype=np.intp) + r * T for r, b in enumerate(batches)]
+        )
+        flat_mlp = np.concatenate([b.mlp for b in batches])
+        flat_misses = np.concatenate([b.misses_f for b in batches])
+        flat_unit = np.empty_like(flat_mlp)
+        flat_w = np.empty_like(flat_mlp)
+        lat = np.empty(R * T, dtype=np.float64)
+
+        base = [compute_cycles[r] + extra_cycles_list[r] for r in range(R)]
+        durations = [max(base[r], 1.0) for r in range(R)]
+        for _ in range(_FIXED_POINT_ITERATIONS):
+            for r in range(R):
+                duration = durations[r]
+                for tier, load in loads_list[r].items():
+                    spec = self.spec[tier]
+                    duration_ns = duration / self.freq_ghz
+                    supply = spec.bytes_per_ns() * duration_ns
+                    util = min(load.bytes / supply if supply > 0 else 0.0, MAX_UTILISATION)
+                    load.utilisation = util
+                    inflation = 1.0 + QUEUE_GAIN * util / (1.0 - util)
+                    load.effective_latency_cycles = (
+                        ns_to_cycles(spec.latency_ns, self.freq_ghz) * inflation
+                    )
+                    lat[r * T + int(tier)] = load.effective_latency_cycles
+            np.take(lat, flat_codes, out=flat_unit)
+            np.divide(flat_unit, flat_mlp, out=flat_unit)
+            np.multiply(flat_misses, flat_unit, out=flat_w)
+            tier_stalls = np.bincount(flat_codes, weights=flat_w, minlength=R * T)
+            for r in range(R):
+                total_stalls = 0.0
+                for tier, load in loads_list[r].items():
+                    load.stall_cycles = float(tier_stalls[r * T + int(tier)])
+                    total_stalls += load.stall_cycles
+                new_duration = max(base[r] + total_stalls, 1.0)
+                durations[r] = 0.5 * durations[r] + 0.5 * new_duration
+
+        # (No fixed-point residual gauge: the multi-run path only runs
+        # with observability disabled.)
+        np.divide(flat_misses, flat_mlp, out=flat_w)
+        inv = np.bincount(flat_codes, weights=flat_w, minlength=R * T)
+        results: List[WindowHardware] = []
+        for r in range(R):
+            batch = batches[r]
+            np.copyto(batch.unit_stall_cycles, flat_unit[bounds[r] : bounds[r + 1]])
+            loads = loads_list[r]
+            for tier, load in loads.items():
+                total = batch.tier_misses[int(tier)]
+                if total == 0:
+                    load.mlp = 1.0
+                    continue
+                tier_inv = float(inv[r * T + int(tier)])
+                load.mlp = total / tier_inv if tier_inv > 0 else 1.0
+            results.append(
+                WindowHardware(
+                    shares=batch,
+                    tier_loads=loads,
+                    compute_cycles=compute_cycles[r],
+                    duration_cycles=durations[r],
+                )
+            )
+        return results
+
     def _solve_shares(
         self,
         shares: Sequence[GroupTierShare],

@@ -85,21 +85,73 @@ class PerfScenario:
         )
 
 
+@dataclass(frozen=True)
+class MultiRunScenario:
+    """One timed multi-run group: seeds x ratios of a (workload, policy).
+
+    Models the shape campaign sweeps actually execute -- many runs of
+    the same pair differing only in seed and capacity ratio -- so the
+    harness times the lockstep :class:`~repro.sim.runbatch.MultiMachine`
+    path when replaying and the serial live path when not.  Both paths
+    produce bit-identical per-run results; ``run_runtime_cycles`` pins
+    each member and ``runtime_cycles`` (their ordered sum) feeds the
+    same baseline identity gate as the single-run scenarios.
+    """
+
+    name: str
+    workload: str
+    policy: str
+    total_misses: int = 24_000_000
+    seeds: "tuple[int, ...]" = (0, 1, 2)
+    ratios: "tuple[str, ...]" = ("1:2", "1:4")
+
+    def runs(self) -> "tuple[tuple[int, str], ...]":
+        """Member (seed, ratio) pairs in fixed seed-major order."""
+        return tuple((seed, ratio) for seed in self.seeds for ratio in self.ratios)
+
+    def build_workload(self, trace_store=None):
+        workload = make_workload(self.workload, total_misses=self.total_misses)
+        if trace_store is not None:
+            workload = trace_store.replay(workload)
+        return workload
+
+    def build_machines(self, trace_store=None, obs=None) -> List[Machine]:
+        return [
+            Machine(
+                workload=self.build_workload(trace_store),
+                policy=make_policy(self.policy),
+                config=MachineConfig(),
+                ratio=ratio,
+                seed=seed,
+                obs=obs,
+            )
+            for seed, ratio in self.runs()
+        ]
+
+
 SUITE: "tuple[PerfScenario, ...]" = tuple(
     PerfScenario(name=f"{label}-{policy.lower()}", workload=workload, policy=policy)
     for label, workload in (("graph", "bc-kron"), ("silo", "silo"), ("gpt2", "gpt-2"))
     for policy in ("PACT", "Memtis", "NoTier")
 )
 
+#: Multi-run additions to the suite: the acceptance-critical PACT case
+#: swept across seeds and ratios, exercising the lockstep executor.
+MULTI_SUITE: "tuple[MultiRunScenario, ...]" = (
+    MultiRunScenario(name="graph-pact-multi", workload="bc-kron", policy="PACT"),
+)
+
 #: ``--quick`` subset: same scenario parameters, graph workload only
-#: (the acceptance-critical PACT case plus both baselines for context).
-QUICK_NAMES = ("graph-pact", "graph-memtis", "graph-notier")
+#: (the acceptance-critical PACT case plus both baselines for context,
+#: and the multi-run grid that exercises the lockstep executor).
+QUICK_NAMES = ("graph-pact", "graph-memtis", "graph-notier", "graph-pact-multi")
 
 
-def scenarios(quick: bool = False) -> "tuple[PerfScenario, ...]":
+def scenarios(quick: bool = False) -> "tuple[object, ...]":
+    full = SUITE + MULTI_SUITE
     if not quick:
-        return SUITE
-    return tuple(s for s in SUITE if s.name in QUICK_NAMES)
+        return full
+    return tuple(s for s in full if s.name in QUICK_NAMES)
 
 
 def calibration_score(repeats: int = 3) -> float:
@@ -199,6 +251,90 @@ def run_scenario(
     return record
 
 
+def run_multi_scenario(
+    scenario: MultiRunScenario,
+    repeats: int = 2,
+    profile: bool = True,
+    trace_store=None,
+) -> Dict[str, object]:
+    """Time one multi-run grid; best-of-``repeats`` plus a profiled leg.
+
+    With ``trace_store`` the timed repeats run all members in lockstep
+    through :class:`~repro.sim.runbatch.MultiMachine` (the configuration
+    campaign sweeps use); without one, members run serially on live
+    generators.  Either way each member's ``runtime_cycles`` is recorded
+    in ``run_runtime_cycles`` and the profiled extra leg re-runs every
+    member serially with observability on, asserting per-run equality --
+    so a replay-mode report and a ``--no-replay`` report must agree on
+    ``runtime_cycles`` exactly (the CI smoke leg checks precisely that).
+    """
+    from repro.sim.runbatch import MultiMachine
+
+    if trace_store is not None:
+        trace_store.ensure(
+            make_workload(scenario.workload, total_misses=scenario.total_misses),
+            200_000,
+        )
+    best_wps = 0.0
+    best_wall = float("inf")
+    windows = 0
+    run_cycles: List[float] = []
+    for _ in range(max(repeats, 1)):
+        machines = scenario.build_machines(trace_store)
+        t0 = time.perf_counter()
+        if trace_store is not None:
+            results = MultiMachine(machines).run()
+        else:
+            results = [machine.run() for machine in machines]
+        wall = time.perf_counter() - t0
+        windows = sum(result.windows for result in results)
+        run_cycles = [result.runtime_cycles for result in results]
+        if windows / wall > best_wps:
+            best_wps = windows / wall
+            best_wall = wall
+    runtime_cycles = 0.0  # ordered left-fold: deterministic across modes
+    for cycles in run_cycles:
+        runtime_cycles += cycles
+    record: Dict[str, object] = {
+        "workload": scenario.workload,
+        "policy": scenario.policy,
+        "total_misses": scenario.total_misses,
+        "seeds": list(scenario.seeds),
+        "ratios": list(scenario.ratios),
+        "runs": len(run_cycles),
+        "windows": windows,
+        "windows_per_sec": best_wps,
+        "wall_seconds": best_wall,
+        "runtime_cycles": runtime_cycles,
+        "run_runtime_cycles": run_cycles,
+    }
+    if profile:
+        spans: Dict[str, Dict[str, float]] = {}
+        for (seed, ratio), expected in zip(scenario.runs(), run_cycles):
+            obs = Observability(trace=False)
+            machine = Machine(
+                workload=scenario.build_workload(trace_store),
+                policy=make_policy(scenario.policy),
+                config=MachineConfig(),
+                ratio=ratio,
+                seed=seed,
+                obs=obs,
+            )
+            profiled = machine.run()
+            if profiled.runtime_cycles != expected:
+                raise AssertionError(
+                    f"{scenario.name} seed={seed} ratio={ratio}: serial observed "
+                    f"run diverged from timed run "
+                    f"({profiled.runtime_cycles!r} != {expected!r})"
+                )
+            for label, t in obs.timings().items():
+                agg = spans.setdefault(label, {"seconds": 0.0, "calls": 0})
+                agg["seconds"] += t["seconds"]
+                agg["calls"] += t["calls"]
+        record["spans"] = spans
+    return record
+
+
 def run_suite(
     quick: bool = False,
     repeats: int = 2,
@@ -228,7 +364,12 @@ def run_suite(
         "scenarios": {},
     }
     for scenario in scenarios(quick):
-        record = run_scenario(
+        runner = (
+            run_multi_scenario
+            if isinstance(scenario, MultiRunScenario)
+            else run_scenario
+        )
+        record = runner(
             scenario, repeats=repeats, profile=profile, trace_store=trace_store
         )
         report["scenarios"][scenario.name] = record
@@ -273,6 +414,12 @@ def compare(
                 f"{name}: runtime_cycles {cur['runtime_cycles']!r} != "
                 f"baseline {base['runtime_cycles']!r} (results must be bit-identical)"
             )
+        if "run_runtime_cycles" in cur and "run_runtime_cycles" in base:
+            if list(cur["run_runtime_cycles"]) != list(base["run_runtime_cycles"]):
+                problems.append(
+                    f"{name}: per-run runtime_cycles differ from baseline "
+                    f"(multi-run members must be bit-identical)"
+                )
         cur_norm = float(cur["windows_per_sec"]) / cur_cal
         base_norm = float(base["windows_per_sec"]) / base_cal
         if base_norm > 0.0 and cur_norm < (1.0 - threshold) * base_norm:
@@ -318,11 +465,14 @@ __all__ = [
     "DEFAULT_TRACE_DIR",
     "DEFAULT_THRESHOLD",
     "PerfScenario",
+    "MultiRunScenario",
     "SUITE",
+    "MULTI_SUITE",
     "QUICK_NAMES",
     "scenarios",
     "calibration_score",
     "run_scenario",
+    "run_multi_scenario",
     "run_suite",
     "compare",
     "load_report",

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.common.rngutil import split
+from repro.hw import drawplan
 from repro.hw.cha import ChaTorCounters
 from repro.hw.pebs import PebsBatch, PebsSampler
 from repro.hw.perf import PerfCounters
@@ -128,10 +129,24 @@ class Machine:
         self._runtime_cycles = 0.0
         self._window = 0
         self._empty_windows = 0
+        #: Whole-run plans (:mod:`repro.hw.drawplan`): a pre-split
+        #: ShareBatch per recorded window, presampled PEBS/CHMU batches,
+        #: and (for static no-PEBS runs without a contender) the
+        #: pre-solved per-window hardware outcomes.  All stay ``None``
+        #: outside static replayed runs.
+        self._split_plan = None
+        self._pebs_plan = None
+        self._solve_plan = None
+        #: Static runs whose policy never reads activity/LRU state skip
+        #: the per-window touch -- nothing observable depends on it.
+        self._skip_touch = bool(
+            policy.static_placement and not policy.reads_page_activity
+        )
 
         workload.reset()
         policy.attach(self)
         self._preallocate()
+        drawplan.attach(self)
 
     def _preallocate(self) -> None:
         """Place the footprint before the measured region starts.
@@ -160,9 +175,31 @@ class Machine:
         if not traffic.groups:
             self._step_empty_window()
             return
+        all_pages, all_counts, touched, shares, extra_bytes, extra_cycles = (
+            self._prepare_window(traffic)
+        )
+        if self._solve_plan is not None and extra_cycles == 0.0 and not extra_bytes:
+            # Static no-PEBS replay: the whole run was solved up front
+            # (extra inputs are provably zero every window -- checked
+            # anyway so a surprise carry-over falls back to a live solve).
+            outcome = self._solve_plan.outcome_for(self._window)
+        else:
+            with self.obs.profile("stall_solve"):
+                outcome = self.stall_model.solve(
+                    shares, traffic.compute_cycles, extra_bytes=extra_bytes, extra_cycles=extra_cycles
+                )
+        self._finish_window(traffic, all_pages, all_counts, touched, outcome)
+
+    def _prepare_window(self, traffic):
+        """Everything before the stall solve: traffic concat, first-touch
+        allocation, the (group, tier) split, and contention inputs.
+
+        Split out of :meth:`step` so the multi-run driver
+        (:mod:`repro.sim.runbatch`) can prepare every run's window, solve
+        them all in one batched call, then finish each run."""
         # Concatenate the window's traffic once and reuse it for both
         # the touched-page set (first-touch allocation, the policy's
-        # Observation) and the LRU/activity touch below --
+        # Observation) and the LRU/activity touch in _finish_window --
         # ``traffic.touched_pages()`` would redo the same concatenation.
         groups = traffic.groups
         if traffic.flat_pages is not None and traffic.flat_counts is not None:
@@ -186,9 +223,14 @@ class Machine:
             touched = np.unique(all_pages[all_counts > 0])
             self.memory.allocate_first_touch(touched, prefer=self.policy.alloc_prefer)
 
-        shares = self.stall_model.split_groups(
-            traffic.groups, self.memory.placement, pages=all_pages, counts=all_counts
-        )
+        if self._split_plan is not None:
+            # Static placement under replay: the whole run was split up
+            # front; this window's ShareBatch is a pre-sliced view.
+            shares = self._split_plan.window_batch(self._window)
+        else:
+            shares = self.stall_model.split_groups(
+                traffic.groups, self.memory.placement, pages=all_pages, counts=all_counts
+            )
 
         extra_bytes = dict(self._pending_bytes)
         if self.contender is not None:
@@ -199,28 +241,35 @@ class Machine:
         extra_cycles = self._pending_overhead_cycles
         self._pending_overhead_cycles = 0.0
         self._pending_bytes = {}
+        return all_pages, all_counts, touched, shares, extra_bytes, extra_cycles
 
-        with self.obs.profile("stall_solve"):
-            outcome = self.stall_model.solve(
-                shares, traffic.compute_cycles, extra_bytes=extra_bytes, extra_cycles=extra_cycles
-            )
+    def _finish_window(self, traffic, all_pages, all_counts, touched, outcome) -> None:
+        """Everything after the stall solve: counters, observation,
+        policy decision, migration, and window bookkeeping."""
         # Sample after the solve so TPEBS-style latency reporting sees
         # each share's effective (loaded) latency; the PEBS processing
         # overhead is charged to the next window (the dedicated thread
         # drains records asynchronously, §4.6).
-        pebs_batch = self._sample_pebs(outcome.shares)
-        self._pending_overhead_cycles += pebs_batch.overhead_cycles
-        self.cha.advance(outcome.shares)
-        self.perf.advance(outcome)
+        with self.obs.profile("hw_observe"):
+            pebs_batch = self._sample_pebs(outcome.shares)
+            self._pending_overhead_cycles += pebs_batch.overhead_cycles
+            self.cha.advance(outcome.shares)
+            self.perf.advance(outcome)
         # Count-zero entries are deliberately kept: they stamp
         # ``last_touch`` (as they always have) while adding no activity.
-        self.memory.touch(all_pages, self._window, counts=all_counts)
+        if not self._skip_touch:
+            self.memory.touch(all_pages, self._window, counts=all_counts)
 
         obs = self._observe(pebs_batch, touched, outcome.duration_cycles)
         with self.obs.profile("policy_observe"):
             decision = self.policy.observe(obs)
         with self.obs.profile("migration_apply"):
             migration = self._apply(decision)
+        if self.policy.static_placement and (migration.promoted or migration.demoted):
+            raise RuntimeError(
+                f"policy {self.policy.name!r} declares static_placement "
+                f"but migrated pages in window {self._window}"
+            )
 
         duration = outcome.duration_cycles
         duration += self.policy.window_overhead_cycles(obs)
@@ -270,16 +319,19 @@ class Machine:
 
     # -- internals ----------------------------------------------------------------
 
-    def _sample_pebs(self, shares) -> PebsBatch:
-        if not self.policy.needs_pebs:
-            return PebsBatch.empty(self.pebs.rate)
+    def _pebs_tiers(self):
         # Lower tiers first (nearest to farthest), then the fast tier if
         # the policy samples it -- the two-tier order was (SLOW, FAST).
         if self.policy.sample_fast_tier:
-            tiers = self.tiers[1:] + (self.tiers[0],)
-        else:
-            tiers = self.tiers[1:]
-        return self.pebs.sample(shares, tiers=tiers)
+            return self.tiers[1:] + (self.tiers[0],)
+        return self.tiers[1:]
+
+    def _sample_pebs(self, shares) -> PebsBatch:
+        if not self.policy.needs_pebs:
+            return PebsBatch.empty(self.pebs.rate)
+        if self._pebs_plan is not None:
+            return self._pebs_plan.batch_for(self._window)
+        return self.pebs.sample(shares, tiers=self._pebs_tiers())
 
     def _observe(
         self, pebs_batch: PebsBatch, touched: Optional[np.ndarray], duration: float

@@ -171,6 +171,25 @@ class TieringPolicy(abc.ABC):
     #: (CXL 3.2 controller-side hotness monitoring, §4.3.5).
     access_sampler: str = "pebs"
 
+    #: Declares that page placement never changes after preallocation:
+    #: ``observe`` always returns an empty :class:`Decision` and the
+    #: policy never drives the migration engine.  Static runs under a
+    #: replayed trace let the machine pre-split every window's traffic
+    #: and pre-draw every sample for the whole run up front
+    #: (:mod:`repro.hw.drawplan`).  The machine hard-fails if a policy
+    #: declaring this ever migrates a page.  Defaults to ``False``.
+    static_placement: bool = False
+
+    #: Whether this policy (or anything observing the run on its behalf)
+    #: reads the memory's page-activity / LRU-clock state -- via
+    #: ``Observation.memory`` (``activity``, ``mean_activity``,
+    #: ``activity_sum``, ``last_touch``) or by issuing ``demote_lru``
+    #: orders.  Policies that declare ``False`` *and* are static let the
+    #: machine skip the per-window LRU/activity touch entirely: with no
+    #: reader the scatter-add changes nothing observable.  Defaults to
+    #: ``True`` (safe).
+    reads_page_activity: bool = True
+
     #: Scales the engine's migration cost for this policy (transactional
     #: double-copy designs pay more than a plain ``move_pages()``).
     migration_cost_multiplier: float = 1.0
@@ -216,6 +235,8 @@ class NoTierPolicy(TieringPolicy):
     synchronous_migration = False
     needs_pebs = False
     needs_touched_pages = False
+    static_placement = True
+    reads_page_activity = False
 
     def observe(self, obs: Observation) -> Decision:  # noqa: ARG002
         return Decision.none()
@@ -229,6 +250,8 @@ class SlowOnlyPolicy(TieringPolicy):
     alloc_prefer = Tier.SLOW
     needs_pebs = False
     needs_touched_pages = False
+    static_placement = True
+    reads_page_activity = False
 
     def observe(self, obs: Observation) -> Decision:  # noqa: ARG002
         return Decision.none()

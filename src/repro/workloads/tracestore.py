@@ -546,6 +546,11 @@ class ReplayWorkload(Workload):
         """Number of recorded windows in the underlying trace."""
         return self._num_windows
 
+    @property
+    def trace_data(self) -> TraceData:
+        """The recorded columns backing this replay (read-only use)."""
+        return self._data
+
     def set_total_misses(self, total: int) -> None:
         """Stretch/shrink the work budget (looping replays only)."""
         if total <= 0:

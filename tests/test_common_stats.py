@@ -10,8 +10,34 @@ from repro.common.stats import (
     cdf_points,
     geometric_mean,
     pearson,
+    quantiles_linear,
     quartiles,
 )
+
+
+class TestQuantilesLinear:
+    """The fast path must be np.quantile bit for bit, not approximately."""
+
+    @settings(max_examples=150)
+    @given(
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=400),
+        st.lists(st.floats(0.0, 1.0), min_size=1, max_size=4),
+    )
+    def test_matches_numpy_exactly(self, values, qs):
+        arr = np.asarray(values, dtype=np.float64)
+        q = np.asarray(qs, dtype=np.float64)
+        np.testing.assert_array_equal(quantiles_linear(arr, q), np.quantile(arr, q))
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 100])
+    def test_edge_quantiles(self, n):
+        arr = np.random.default_rng(n).random(n)
+        q = np.array([0.0, 0.25, 0.5, 0.75, 1.0])
+        np.testing.assert_array_equal(quantiles_linear(arr, q), np.quantile(arr, q))
+
+    def test_input_not_mutated(self):
+        arr = np.array([3.0, 1.0, 2.0])
+        quantiles_linear(arr, np.array([0.5]))
+        assert arr.tolist() == [3.0, 1.0, 2.0]
 
 
 class TestPearson:

@@ -11,10 +11,13 @@ from repro.perf import harness
 class TestSuiteDefinition:
     def test_full_suite_covers_three_workloads_three_policies(self):
         suite = harness.scenarios(quick=False)
-        assert len(suite) == 9
+        assert len(suite) == 10
         assert {s.workload for s in suite} == {"bc-kron", "silo", "gpt-2"}
         assert {s.policy for s in suite} == {"PACT", "Memtis", "NoTier"}
-        assert len({s.name for s in suite}) == 9
+        assert len({s.name for s in suite}) == 10
+        multi = [s for s in suite if isinstance(s, harness.MultiRunScenario)]
+        assert [s.name for s in multi] == ["graph-pact-multi"]
+        assert len(multi[0].runs()) == len(multi[0].seeds) * len(multi[0].ratios)
 
     def test_quick_subset_shares_parameters_with_full_suite(self):
         full = {s.name: s for s in harness.scenarios(quick=False)}
@@ -54,6 +57,43 @@ class TestMeasurement:
         assert harness.calibration_score(repeats=1) > 0.0
 
 
+def tiny_multi_scenario():
+    return harness.MultiRunScenario(
+        name="tiny-multi",
+        workload="gups",
+        policy="NoTier",
+        total_misses=400_000,
+        seeds=(0, 1),
+        ratios=("1:2", "1:4"),
+    )
+
+
+class TestMultiRunMeasurement:
+    def test_replay_and_live_modes_agree_bit_exactly(self, tmp_path):
+        from repro.workloads.tracestore import TraceStore
+
+        store = TraceStore(str(tmp_path / "traces"))
+        replayed = harness.run_multi_scenario(
+            tiny_multi_scenario(), repeats=1, profile=True, trace_store=store
+        )
+        live = harness.run_multi_scenario(
+            tiny_multi_scenario(), repeats=1, profile=False, trace_store=None
+        )
+        assert replayed["runs"] == 4
+        assert len(replayed["run_runtime_cycles"]) == 4
+        # Lockstep replay vs serial live generation: same results exactly.
+        assert replayed["run_runtime_cycles"] == live["run_runtime_cycles"]
+        assert replayed["runtime_cycles"] == live["runtime_cycles"]
+        assert replayed["windows"] == live["windows"]
+        assert "stall_solve" in replayed["spans"]
+
+    def test_without_profile_skips_spans(self):
+        record = harness.run_multi_scenario(
+            tiny_multi_scenario(), repeats=1, profile=False
+        )
+        assert "spans" not in record
+
+
 def fake_report(wps=100.0, calibration=50.0, cycles=1.25e9):
     return {
         "schema": harness.PERF_SCHEMA,
@@ -90,6 +130,19 @@ class TestCompare:
         current = fake_report(cycles=1.25e9 + 1.0)
         problems = harness.compare(current, fake_report(), threshold=0.99)
         assert any("bit-identical" in p for p in problems)
+
+    def test_per_run_cycles_mismatch_fails(self):
+        current, baseline = fake_report(), fake_report()
+        current["scenarios"]["graph-pact"]["run_runtime_cycles"] = [1.0, 2.0]
+        baseline["scenarios"]["graph-pact"]["run_runtime_cycles"] = [1.0, 3.0]
+        problems = harness.compare(current, baseline)
+        assert any("per-run" in p for p in problems)
+
+    def test_matching_per_run_cycles_pass(self):
+        current, baseline = fake_report(), fake_report()
+        current["scenarios"]["graph-pact"]["run_runtime_cycles"] = [1.0, 2.0]
+        baseline["scenarios"]["graph-pact"]["run_runtime_cycles"] = [1.0, 2.0]
+        assert harness.compare(current, baseline) == []
 
     def test_scenarios_missing_from_baseline_are_skipped(self):
         current = fake_report()
