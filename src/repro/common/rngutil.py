@@ -29,6 +29,40 @@ def split(seed: int, *labels: str) -> "tuple[np.random.Generator, ...]":
     return tuple(np.random.default_rng(s) for s in seqs)
 
 
+#: Domain tag mixed into every schema-2 key derivation so keyed
+#: substreams can never alias the schema-1 ``split`` streams (which
+#: hash ``(seed, label)`` without it).
+_KEYED_DOMAIN = 0x52E2  # "Repro schEma 2"
+
+
+def philox_key(seed: int, purpose: str) -> np.ndarray:
+    """A 128-bit Philox key for one ``(seed, purpose)`` substream family.
+
+    Schema-2 keyed draws (:mod:`repro.hw.substream`) identify every
+    draw by *what it is*, not by when it happens: the key fixes the
+    (seed, purpose) family and the Philox counter word selects the
+    window.  The derivation hashes the purpose label the same
+    platform-stable way ``split`` does, with an extra domain tag so the
+    key material is independent of any schema-1 stream.
+    """
+    ss = np.random.SeedSequence((seed, _KEYED_DOMAIN, _stable_hash(purpose)))
+    return ss.generate_state(2, dtype=np.uint64)
+
+
+def keyed_generator(key: np.ndarray, counter: int) -> np.random.Generator:
+    """The generator for one keyed substream at one counter position.
+
+    Same ``(key, counter)`` always yields the same draw sequence --
+    Philox is a pure function of (key, counter) -- so a value drawn
+    here is reproducible from its identity alone, independent of every
+    other substream.  The counter occupies the highest of Philox's four
+    64-bit counter words, leaving the low words free for the
+    generator's own in-stream advancement.
+    """
+    bitgen = np.random.Philox(counter=[0, 0, 0, int(counter)], key=key)
+    return np.random.Generator(bitgen)
+
+
 def child_seeds(seed: int, n: int) -> Iterator[int]:
     """Yield ``n`` distinct child seeds derived from ``seed``."""
     state = np.random.SeedSequence(seed)

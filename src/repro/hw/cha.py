@@ -71,10 +71,19 @@ class ChaTorCounters:
     def attach_jitter_stream(self, stream) -> None:
         self._jitter_stream = stream
 
-    def advance(self, shares: Sequence[GroupTierShare]) -> None:
-        """Account one window's traffic into the cumulative counters."""
+    def advance(
+        self, shares: Sequence[GroupTierShare], jitter: Optional[np.ndarray] = None
+    ) -> None:
+        """Account one window's traffic into the cumulative counters.
+
+        ``jitter``, when given, supplies the window's multiplicative
+        noise factors as an ``(n, 2)`` array (occ, busy per row) in
+        place of this counter's own stream draws -- the schema-2 keyed
+        path (:mod:`repro.hw.substream`) computes factors per
+        (group, tier) cell and gathers the rows' pairs.
+        """
         if isinstance(shares, ShareBatch):
-            self._advance_batch(shares)
+            self._advance_batch(shares, jitter=jitter)
             return
         for share in shares:
             occ = share.misses * _share_latency(share)
@@ -82,7 +91,7 @@ class ChaTorCounters:
             self._occupancy[share.tier] += occ * self._jitter()
             self._busy[share.tier] += busy * self._jitter()
 
-    def _advance_batch(self, batch: ShareBatch) -> None:
+    def _advance_batch(self, batch: ShareBatch, jitter: Optional[np.ndarray] = None) -> None:
         """Columnar path: vectorised math and jitter draws, ordered sums.
 
         The elementwise arithmetic and the noise draws are batched (one
@@ -99,7 +108,10 @@ class ChaTorCounters:
         lat = batch.unit_stall_cycles * batch.mlp
         occ = batch.misses_f * lat
         busy = occ / batch.mlp
-        if self.noise > 0.0:
+        if jitter is not None:
+            occ = occ * jitter[:, 0]
+            busy = busy * jitter[:, 1]
+        elif self.noise > 0.0:
             if self._jitter_stream is not None:
                 # The live draw is row-major (occ_0, busy_0, occ_1, ...);
                 # a flat take of 2n reshaped the same way serves the

@@ -18,11 +18,19 @@ window it accumulates true per-page access counts; at each epoch
 boundary it emits the top-``hotlist_size`` pages as a
 :class:`repro.hw.pebs.PebsBatch` with ``rate=1`` (exact counts), then
 clears the epoch counters.
+
+The accumulator is *sparse*: the epoch's (pages, counts) rows are
+buffered and aggregated at the boundary with one concatenate + stable
+sort + ``reduceat`` pass (:func:`aggregate_epoch`).  Integer addition
+is associative, so the aggregated sums equal the dense
+footprint-array-plus-``np.add.at`` accumulation bit for bit -- without
+touching (or scanning with ``flatnonzero``) a footprint-sized array on
+epochs that visited only a few pages.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence
 
 import numpy as np
 
@@ -53,7 +61,9 @@ class ChmuSampler:
         self.epoch_windows = epoch_windows
         self.readout_cycles = readout_cycles
         self.tier = tier
-        self._counts = np.zeros(footprint_pages, dtype=np.int64)
+        self.footprint_pages = footprint_pages
+        self._epoch_pages: List[np.ndarray] = []
+        self._epoch_counts: List[np.ndarray] = []
         self._window_in_epoch = 0
         self.rate = 1  # exact counts (PebsBatch-compatible attribute)
 
@@ -66,14 +76,26 @@ class ChmuSampler:
         ``tiers`` beyond the device's own tier are ignored (a CHMU only
         observes its own memory).
         """
+        # Share page/count arrays from the batched split are StallModel
+        # scratch, only valid until the next window's split -- copy when
+        # the epoch buffers must survive a window boundary.  With the
+        # default one-window epochs the drain below consumes them before
+        # the scratch is reused, so no copy is needed.
+        keep = self.epoch_windows > 1
         if isinstance(shares, ShareBatch):
             for i in shares.rows_in_tier(self.tier):
-                np.add.at(self._counts, shares.pages_of(i), shares.counts_of(i))
+                pages = shares.pages_of(i)
+                if pages.size:
+                    self._epoch_pages.append(pages.copy() if keep else pages)
+                    counts = shares.counts_of(i)
+                    self._epoch_counts.append(counts.copy() if keep else counts)
         else:
             for share in shares:
                 if share.tier != self.tier:
                     continue
-                np.add.at(self._counts, share.pages, share.counts)
+                if share.pages.size:
+                    self._epoch_pages.append(share.pages.copy() if keep else share.pages)
+                    self._epoch_counts.append(share.counts.copy() if keep else share.counts)
         self._window_in_epoch += 1
         if self._window_in_epoch < self.epoch_windows:
             return PebsBatch.empty(rate=1)
@@ -81,12 +103,37 @@ class ChmuSampler:
         return self._drain()
 
     def _drain(self) -> PebsBatch:
-        touched = np.flatnonzero(self._counts)
-        batch = drain_hotlist(
-            touched, self._counts[touched], self.hotlist_size, self.readout_cycles
-        )
-        self._counts[:] = 0
-        return batch
+        touched, sums = aggregate_epoch(self._epoch_pages, self._epoch_counts)
+        self._epoch_pages = []
+        self._epoch_counts = []
+        return drain_hotlist(touched, sums, self.hotlist_size, self.readout_cycles)
+
+
+def aggregate_epoch(
+    pages_list: Sequence[np.ndarray], counts_list: Sequence[np.ndarray]
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Merge an epoch's buffered (pages, counts) rows into sorted sums.
+
+    One concatenate + stable argsort + ``unique``/``reduceat`` pass
+    produces exactly what the historical dense accumulation emitted:
+    ascending touched pages with their positive total counts (pages
+    whose counts sum to zero are dropped, as ``flatnonzero`` over the
+    dense array dropped them).  Integer addition is associative, so the
+    sums are bit-identical regardless of grouping.
+    """
+    if not pages_list:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    flat_pages = (
+        np.concatenate(pages_list) if len(pages_list) > 1 else pages_list[0]
+    )
+    flat_counts = (
+        np.concatenate(counts_list) if len(counts_list) > 1 else counts_list[0]
+    )
+    sort = np.argsort(flat_pages, kind="stable")
+    touched, first = np.unique(flat_pages[sort], return_index=True)
+    sums = np.add.reduceat(flat_counts[sort], first)
+    live = sums > 0
+    return touched[live], sums[live]
 
 
 def drain_hotlist(

@@ -25,6 +25,14 @@ exploits both:
   split, walking the shares in the same order (and, for PEBS, drawing
   from the same generator in the same sequence) as the live path.
 
+Under RNG schema 2 (:mod:`repro.hw.substream`) the sequenced-stream
+constraint disappears entirely: sampler and jitter draws are keyed by
+(seed, purpose, window) and cover trace-determined entry sets, so
+:func:`_attach_keyed` prestages the *whole run's* PEBS/CHA/perf draw
+tensors at attach time for **any** policy, dynamic ones included --
+only the per-window placement gather and merge stay in the loop (and
+for static placements even those fold into a finished-batch plan).
+
 The plans engage automatically when a :class:`Machine` is driven by a
 non-looping :class:`~repro.workloads.tracestore.ReplayWorkload`; the
 static-split and sampler plans additionally require the policy to
@@ -294,10 +302,10 @@ def plan_chmu_batches(sampler, batches: List[Optional[ShareBatch]]) -> WindowSam
     CHMU sampling is RNG-free integer accumulation, so epochs can be
     aggregated with one sort + ``reduceat`` over the epoch's slow-tier
     entries instead of per-window ``np.add.at`` into a footprint-sized
-    counter array; integer sums are order-exact, and the drain helper
-    is the very code the live sampler runs.
+    counter array; integer sums are order-exact, and the aggregation
+    and drain helpers are the very code the live sampler runs.
     """
-    from repro.hw.chmu import drain_hotlist
+    from repro.hw.chmu import aggregate_epoch, drain_hotlist
 
     code = int(sampler.tier)
     out: List[Optional[PebsBatch]] = []
@@ -309,7 +317,7 @@ def plan_chmu_batches(sampler, batches: List[Optional[ShareBatch]]) -> WindowSam
             out.append(None)
             continue
         for i in range(batch.n):
-            if int(batch.tier_codes[i]) == code:
+            if int(batch.tier_codes[i]) == code and batch.offsets[i + 1] > batch.offsets[i]:
                 epoch_pages.append(batch.pages_of(i))
                 epoch_counts.append(batch.counts_of(i))
         in_epoch += 1
@@ -317,31 +325,80 @@ def plan_chmu_batches(sampler, batches: List[Optional[ShareBatch]]) -> WindowSam
             out.append(PebsBatch.empty(rate=1))
             continue
         in_epoch = 0
-        if epoch_pages:
-            flat_pages = np.concatenate(epoch_pages)
-            flat_counts = np.concatenate(epoch_counts)
-            sort = np.argsort(flat_pages, kind="stable")
-            touched, first = np.unique(flat_pages[sort], return_index=True)
-            sums = np.add.reduceat(flat_counts[sort], first)
-            live = sums > 0
-            out.append(
-                drain_hotlist(
-                    touched[live], sums[live], sampler.hotlist_size, sampler.readout_cycles
-                )
-            )
-            epoch_pages, epoch_counts = [], []
-        else:
-            out.append(PebsBatch.empty(rate=1))
+        touched, sums = aggregate_epoch(epoch_pages, epoch_counts)
+        epoch_pages, epoch_counts = [], []
+        out.append(
+            drain_hotlist(touched, sums, sampler.hotlist_size, sampler.readout_cycles)
+        )
     return WindowSamplePlan(out)
+
+
+def plan_keyed_pebs_batches(sampler, record_plan, data, placement) -> WindowSamplePlan:
+    """Merge prestaged keyed records against a *frozen* placement.
+
+    Static-placement schema-2 runs know every window's placement gather
+    now, so the whole sampler -- draw *and* merge -- leaves the timed
+    loop.  Each window's merge is the very
+    :meth:`~repro.hw.substream.KeyedPebsSampler.merge_window` call the
+    live path makes, over the same trace-order entry slices.
+    """
+    c = data.columns
+    wgp = np.asarray(c["window_group_ptr"])
+    gpp = np.asarray(c["group_page_ptr"])
+    pages = np.asarray(c["pages"])
+    entry_ptr = np.asarray(gpp[wgp], dtype=np.int64)
+    out: List[Optional[PebsBatch]] = []
+    for w in range(wgp.size - 1):
+        if wgp[w + 1] == wgp[w]:
+            out.append(None)
+            continue
+        e0, e1 = int(entry_ptr[w]), int(entry_ptr[w + 1])
+        out.append(
+            sampler.merge_window(
+                record_plan.window_records(w), pages[e0:e1], placement
+            )
+        )
+    return WindowSamplePlan(out)
+
+
+def _attach_keyed(machine, data) -> bool:
+    """Prestage schema-2 keyed draw tensors for *any* policy.
+
+    Keyed draws are decision-independent -- per window they cover every
+    trace entry (PEBS) or every (group, tier) cell (jitter) regardless
+    of placement -- so under replay the whole run's draws are computed
+    here, at attach time, outside the timed region.  The live keyed
+    fallback draws the same substreams per window, so engaging a plan
+    never changes a single value.
+    """
+    from repro.hw.substream import plan_keyed_records
+
+    wgp = np.asarray(data.columns["window_group_ptr"])
+    groups_per_window = np.diff(wgp)
+    T = machine.num_tiers
+    engaged = False
+    if machine._keyed_cha is not None:
+        machine._keyed_cha.prestage(2 * T * groups_per_window)
+        engaged = True
+    if machine._keyed_perf is not None:
+        machine._keyed_perf.prestage(
+            np.where(groups_per_window > 0, 2 * T, 0)
+        )
+        engaged = True
+    if machine._keyed_pebs is not None:
+        machine._pebs_records = plan_keyed_records(machine._keyed_pebs, data)
+        engaged = True
+    return engaged
 
 
 def attach(machine) -> bool:
     """Wire whole-run draw plans into ``machine`` when replay drives it.
 
     Called at the end of ``Machine.__init__`` (placement is settled by
-    then).  Jitter streams engage for every policy; the static split
-    and sampler plans additionally need ``policy.static_placement`` and
-    a fully preallocated footprint.  Returns True when anything engaged.
+    then).  Jitter streams (schema 1) or keyed draw tensors (schema 2)
+    engage for every policy; the static split and sampler plans
+    additionally need ``policy.static_placement`` and a fully
+    preallocated footprint.  Returns True when anything engaged.
     """
     if not plans_enabled():
         return False
@@ -352,20 +409,24 @@ def attach(machine) -> bool:
         return False
     data = workload.trace_data
     engaged = False
-    if machine.cha.noise > 0.0:
-        machine.cha.attach_jitter_stream(
-            NormalDrawStream(machine.cha._rng, machine.cha.noise)
-        )
-        engaged = True
-    if machine.perf.noise > 0.0:
-        wgp = np.asarray(data.columns["window_group_ptr"])
-        nonempty = int(np.count_nonzero(np.diff(wgp)))
-        total = 2 * machine.num_tiers * nonempty
-        if total > 0:
-            machine.perf.attach_jitter_stream(
-                NormalDrawStream(machine.perf._rng, machine.perf.noise, chunk=total)
+    keyed = machine.rng_schema == 2
+    if keyed:
+        engaged = _attach_keyed(machine, data)
+    else:
+        if machine.cha.noise > 0.0:
+            machine.cha.attach_jitter_stream(
+                NormalDrawStream(machine.cha._rng, machine.cha.noise)
             )
             engaged = True
+        if machine.perf.noise > 0.0:
+            wgp = np.asarray(data.columns["window_group_ptr"])
+            nonempty = int(np.count_nonzero(np.diff(wgp)))
+            total = 2 * machine.num_tiers * nonempty
+            if total > 0:
+                machine.perf.attach_jitter_stream(
+                    NormalDrawStream(machine.perf._rng, machine.perf.noise, chunk=total)
+                )
+                engaged = True
     policy = machine.policy
     if getattr(policy, "static_placement", False) and machine.memory.fully_allocated:
         batches = build_static_batches(data, machine.memory.placement, machine.num_tiers)
@@ -385,7 +446,21 @@ def attach(machine) -> bool:
             )
         if policy.needs_pebs:
             sampler = machine.pebs
-            if isinstance(sampler, PebsSampler) and not sampler.report_latency:
+            if keyed and machine._keyed_pebs is not None:
+                if not machine._keyed_pebs.report_latency:
+                    # Frozen placement: fold the merge in too and drop
+                    # the per-window records (the merged plan serves
+                    # finished batches).  Latency-reporting samplers
+                    # keep the records and merge live -- the unit stall
+                    # costs come from each window's solved shares.
+                    machine._pebs_plan = plan_keyed_pebs_batches(
+                        machine._keyed_pebs,
+                        machine._pebs_records,
+                        data,
+                        machine.memory.placement,
+                    )
+                    machine._pebs_records = None
+            elif isinstance(sampler, PebsSampler) and not sampler.report_latency:
                 # TPEBS latency reporting reads each share's *solved*
                 # unit stall cost, which is unknown before the run --
                 # those samplers keep the live path.
@@ -409,6 +484,7 @@ __all__ = [
     "attach",
     "build_static_batches",
     "plan_chmu_batches",
+    "plan_keyed_pebs_batches",
     "plan_pebs_batches",
     "plan_window_solves",
     "plans_enabled",

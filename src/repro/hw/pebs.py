@@ -84,36 +84,47 @@ class PebsSampler:
         self.report_latency = report_latency
         self._rng = rng if rng is not None else np.random.default_rng(0)
 
-    def sample(
+    def draw(
         self, shares: Sequence[GroupTierShare], tiers: "tuple[Tier, ...]" = (Tier.SLOW,)
-    ) -> PebsBatch:
-        """Draw one window's PEBS records from the given tier(s).
+    ) -> "tuple[list, list, list]":
+        """The RNG stage: thinning draws per share, merge inputs out.
 
-        PACT samples only slow-tier loads by default (§4.3.5): sampling
-        the fast tier as well would double PEBS overhead for little
-        policy value, since demotion candidates come from the LRU lists.
+        The two binomial draws must stay sequenced per share (the
+        record draw thins the load draw's result), so the RNG stream
+        -- and thus every sampled record -- matches the original
+        per-share loop exactly.  A ShareBatch is walked by row over its
+        column views, so the draws see the same count values in the
+        same order without materialising share objects.  ``share_units``
+        (each share's exposed latency per load = effective latency /
+        MLP = unit stall cost) is only collected when latency reporting
+        is on -- nothing else reads it.
         """
-        # The two binomial draws must stay sequenced per share (the
-        # record draw thins the load draw's result), so the RNG stream
-        # -- and thus every sampled record -- matches the original
-        # per-share loop exactly.  Everything downstream of the draws is
-        # batched: one concatenate, one unique, one bincount.  A
-        # ShareBatch is walked by row over its column views, so the
-        # draws see the same count values in the same order without
-        # materialising share objects.
         all_pages = []
         all_records = []
         share_units = []
-        for pages, counts, load_fraction, unit in _tier_share_rows(shares, tiers):
-            if self.loads_only:
+        rng = self._rng
+        rate_p = 1.0 / self.rate
+        want_units = self.report_latency
+        if self.loads_only:
+            for pages, counts, load_fraction, unit in _tier_share_rows(shares, tiers):
                 # Thin writes out before the 1-in-N event sampling.
-                counts = self._rng.binomial(counts, load_fraction)
-            records = self._rng.binomial(counts, 1.0 / self.rate)
-            all_pages.append(pages)
-            all_records.append(records)
-            # Exposed latency per load = effective latency / MLP, which
-            # is exactly the share's unit stall cost.
-            share_units.append(unit)
+                records = rng.binomial(rng.binomial(counts, load_fraction), rate_p)
+                all_pages.append(pages)
+                all_records.append(records)
+                if want_units:
+                    share_units.append(unit)
+        else:
+            for pages, counts, _load_fraction, unit in _tier_share_rows(shares, tiers):
+                all_pages.append(pages)
+                all_records.append(rng.binomial(counts, rate_p))
+                if want_units:
+                    share_units.append(unit)
+        return all_pages, all_records, share_units
+
+    def merge(self, drawn: "tuple[list, list, list]") -> PebsBatch:
+        """The merge stage: concatenate, drop zero-record entries, and
+        merge duplicate pages (record-weighted mean for latencies)."""
+        all_pages, all_records, share_units = drawn
         if not all_pages:
             return PebsBatch.empty(self.rate)
         pages = np.concatenate(all_pages) if len(all_pages) > 1 else all_pages[0]
@@ -160,6 +171,20 @@ class PebsSampler:
             overhead_cycles=total * self.cycles_per_record,
             latencies=latencies,
         )
+
+    def sample(
+        self, shares: Sequence[GroupTierShare], tiers: "tuple[Tier, ...]" = (Tier.SLOW,)
+    ) -> PebsBatch:
+        """Draw one window's PEBS records from the given tier(s).
+
+        PACT samples only slow-tier loads by default (§4.3.5): sampling
+        the fast tier as well would double PEBS overhead for little
+        policy value, since demotion candidates come from the LRU lists.
+        Split into :meth:`draw` (the sequenced RNG stage) and
+        :meth:`merge` so the machine can attribute their wall time to
+        separate observability spans.
+        """
+        return self.merge(self.draw(shares, tiers=tiers))
 
 
 def _strictly_increasing(pages: np.ndarray) -> bool:

@@ -80,10 +80,25 @@ class PerfCounters:
         self._bytes = {t: 0.0 for t in tiers}
         self._latency = {t: 0.0 for t in tiers}
 
-    def advance(self, outcome: WindowHardware) -> None:
-        """Account one solved window into the cumulative counters."""
+    def advance(self, outcome: WindowHardware, jitter: Optional[np.ndarray] = None) -> None:
+        """Account one solved window into the cumulative counters.
+
+        ``jitter``, when given, supplies the window's ``2 * num_tiers``
+        multiplicative noise factors (miss, stall interleaved in tier
+        order) in place of this counter's own stream draws -- the
+        schema-2 keyed path (:mod:`repro.hw.substream`).
+        """
         self._cycles += outcome.duration_cycles
         loads = outcome.tier_loads
+        if jitter is not None:
+            k = 0
+            for tier, load in loads.items():
+                self._llc_misses[tier] += load.misses * float(jitter[k])
+                self._stalls[tier] += load.stall_cycles * float(jitter[k + 1])
+                self._bytes[tier] += load.bytes
+                self._latency[tier] = load.effective_latency_cycles
+                k += 2
+            return
         if self._jitter_stream is not None and self.noise > 0.0:
             # Exactly 2 draws per tier per window, in tier order -- the
             # same stream positions the scalar _jitter() calls consume.

@@ -67,6 +67,11 @@ class PerfScenario:
     total_misses: int = 24_000_000
     ratio: str = "1:4"
     seed: int = 0
+    #: RNG schema the scenario runs under (see MachineConfig.rng_schema).
+    rng_schema: int = 2
+
+    def config(self) -> MachineConfig:
+        return MachineConfig(rng_schema=self.rng_schema)
 
     def build_workload(self, trace_store=None):
         """The scenario's workload; replayed when a trace store is given."""
@@ -79,7 +84,7 @@ class PerfScenario:
         return Machine(
             workload=self.build_workload(trace_store),
             policy=make_policy(self.policy),
-            config=MachineConfig(),
+            config=self.config(),
             ratio=self.ratio,
             seed=self.seed,
         )
@@ -104,6 +109,11 @@ class MultiRunScenario:
     total_misses: int = 24_000_000
     seeds: "tuple[int, ...]" = (0, 1, 2)
     ratios: "tuple[str, ...]" = ("1:2", "1:4")
+    #: RNG schema the scenario runs under (see MachineConfig.rng_schema).
+    rng_schema: int = 2
+
+    def config(self) -> MachineConfig:
+        return MachineConfig(rng_schema=self.rng_schema)
 
     def runs(self) -> "tuple[tuple[int, str], ...]":
         """Member (seed, ratio) pairs in fixed seed-major order."""
@@ -120,7 +130,7 @@ class MultiRunScenario:
             Machine(
                 workload=self.build_workload(trace_store),
                 policy=make_policy(self.policy),
-                config=MachineConfig(),
+                config=self.config(),
                 ratio=ratio,
                 seed=seed,
                 obs=obs,
@@ -147,8 +157,10 @@ MULTI_SUITE: "tuple[MultiRunScenario, ...]" = (
 QUICK_NAMES = ("graph-pact", "graph-memtis", "graph-notier", "graph-pact-multi")
 
 
-def scenarios(quick: bool = False) -> "tuple[object, ...]":
-    full = SUITE + MULTI_SUITE
+def scenarios(quick: bool = False, rng_schema: int = 2) -> "tuple[object, ...]":
+    from dataclasses import replace
+
+    full = tuple(replace(s, rng_schema=rng_schema) for s in SUITE + MULTI_SUITE)
     if not quick:
         return full
     return tuple(s for s in full if s.name in QUICK_NAMES)
@@ -223,6 +235,7 @@ def run_scenario(
         "total_misses": scenario.total_misses,
         "ratio": scenario.ratio,
         "seed": scenario.seed,
+        "rng_schema": scenario.rng_schema,
         "windows": windows,
         "windows_per_sec": best_wps,
         "wall_seconds": best_wall,
@@ -233,7 +246,7 @@ def run_scenario(
         machine = Machine(
             workload=scenario.build_workload(trace_store),
             policy=make_policy(scenario.policy),
-            config=MachineConfig(),
+            config=scenario.config(),
             ratio=scenario.ratio,
             seed=scenario.seed,
             obs=obs,
@@ -302,6 +315,7 @@ def run_multi_scenario(
         "seeds": list(scenario.seeds),
         "ratios": list(scenario.ratios),
         "runs": len(run_cycles),
+        "rng_schema": scenario.rng_schema,
         "windows": windows,
         "windows_per_sec": best_wps,
         "wall_seconds": best_wall,
@@ -315,7 +329,7 @@ def run_multi_scenario(
             machine = Machine(
                 workload=scenario.build_workload(trace_store),
                 policy=make_policy(scenario.policy),
-                config=MachineConfig(),
+                config=scenario.config(),
                 ratio=ratio,
                 seed=seed,
                 obs=obs,
@@ -342,13 +356,17 @@ def run_suite(
     progress=None,
     replay: bool = True,
     trace_dir: Optional[str] = DEFAULT_TRACE_DIR,
+    rng_schema: int = 2,
 ) -> Dict[str, object]:
     """Run the (quick or full) suite and return the report document.
 
     ``replay=True`` (the default, matching how sweeps run) records each
     scenario's traffic stream once into ``trace_dir`` and times replay;
     bit-identity of replay means ``runtime_cycles`` still guards against
-    result drift either way.
+    result drift either way.  ``rng_schema`` selects the RNG schema all
+    scenarios run under -- the suite defaults to schema 2 (counter-keyed
+    substreams, the configuration sweeps should run in); schema-1 legs
+    gate bit-identity against a legacy baseline.
     """
     trace_store = None
     if replay:
@@ -360,10 +378,11 @@ def run_suite(
         "quick": quick,
         "repeats": repeats,
         "replay": replay,
+        "rng_schema": rng_schema,
         "calibration_ops_per_sec": calibration_score(),
         "scenarios": {},
     }
-    for scenario in scenarios(quick):
+    for scenario in scenarios(quick, rng_schema=rng_schema):
         runner = (
             run_multi_scenario
             if isinstance(scenario, MultiRunScenario)
@@ -403,6 +422,14 @@ def compare(
     base_cal = float(baseline.get("calibration_ops_per_sec", 0.0))
     if cur_cal <= 0.0 or base_cal <= 0.0:
         problems.append("calibration score missing from report or baseline")
+        return problems
+    cur_schema = int(current.get("rng_schema", 1))
+    base_schema = int(baseline.get("rng_schema", 1))
+    if cur_schema != base_schema:
+        problems.append(
+            f"rng schema mismatch: report is schema {cur_schema} but baseline "
+            f"is schema {base_schema} (runtime_cycles are not comparable)"
+        )
         return problems
     base_scenarios = baseline.get("scenarios", {})
     for name, cur in current.get("scenarios", {}).items():

@@ -95,6 +95,9 @@ class Machine:
             specs=specs,
             page_frame_costs=costs,
         )
+        #: Resolved RNG schema: 1 = sequential per-subsystem streams,
+        #: 2 = counter-keyed substreams (:mod:`repro.hw.substream`).
+        self.rng_schema = self.config.rng_schema_effective
         pebs_rng, cha_rng, perf_rng = split(seed, "pebs", "cha", "perf")
         self.stall_model = StallModel(
             specs,
@@ -120,6 +123,30 @@ class Machine:
         self.engine = MigrationEngine(
             self.memory, self.config, obs=self.obs if self.obs.enabled else None
         )
+        #: Schema-2 keyed substreams.  The schema-1 generators above are
+        #: still constructed (they fix the sampler/counter objects'
+        #: defaults) but never drawn from under schema 2.
+        self._keyed_pebs = None
+        self._keyed_cha = None
+        self._keyed_perf = None
+        #: Whole-run prestaged keyed PEBS records (set by drawplan).
+        self._pebs_records = None
+        if self.rng_schema == 2:
+            from repro.hw.substream import KeyedJitter, KeyedPebsSampler
+
+            if policy.needs_pebs and isinstance(self.pebs, PebsSampler):
+                self._keyed_pebs = KeyedPebsSampler(
+                    seed=seed,
+                    rate=self.pebs.rate,
+                    cycles_per_record=self.pebs.cycles_per_record,
+                    sampled_codes=[int(t) for t in self._pebs_tiers()],
+                    num_tiers=self.num_tiers,
+                    loads_only=self.pebs.loads_only,
+                    report_latency=self.pebs.report_latency,
+                )
+            if self.config.counter_noise > 0.0:
+                self._keyed_cha = KeyedJitter(seed, "cha", self.config.counter_noise)
+                self._keyed_perf = KeyedJitter(seed, "perf", self.config.counter_noise)
 
         self._pending_overhead_cycles = 0.0
         self._pending_bytes: Dict[Tier, float] = {}
@@ -249,12 +276,22 @@ class Machine:
         # Sample after the solve so TPEBS-style latency reporting sees
         # each share's effective (loaded) latency; the PEBS processing
         # overhead is charged to the next window (the dedicated thread
-        # drains records asynchronously, §4.6).
+        # drains records asynchronously, §4.6).  The hw_draw child span
+        # covers the RNG stage (sampler thinning draws, keyed jitter
+        # fetches); hw_merge covers the record merge and the counter
+        # advances, so sampler regressions are attributable per stage.
         with self.obs.profile("hw_observe"):
-            pebs_batch = self._sample_pebs(outcome.shares)
-            self._pending_overhead_cycles += pebs_batch.overhead_cycles
-            self.cha.advance(outcome.shares)
-            self.perf.advance(outcome)
+            with self.obs.profile("hw_draw"):
+                pebs_drawn, cha_jitter, perf_jitter = self._draw_hw(
+                    traffic, all_pages, all_counts, outcome.shares
+                )
+            with self.obs.profile("hw_merge"):
+                pebs_batch = self._merge_hw(
+                    pebs_drawn, traffic, all_pages, outcome.shares
+                )
+                self._pending_overhead_cycles += pebs_batch.overhead_cycles
+                self.cha.advance(outcome.shares, jitter=cha_jitter)
+                self.perf.advance(outcome, jitter=perf_jitter)
         # Count-zero entries are deliberately kept: they stamp
         # ``last_touch`` (as they always have) while adding no activity.
         if not self._skip_touch:
@@ -326,11 +363,85 @@ class Machine:
             return self.tiers[1:] + (self.tiers[0],)
         return self.tiers[1:]
 
-    def _sample_pebs(self, shares) -> PebsBatch:
+    def _draw_hw(self, traffic, all_pages, all_counts, shares):
+        """The window's RNG stage: sampler draws and jitter factors.
+
+        Returns ``(pebs_drawn, cha_jitter, perf_jitter)``.  Under
+        schema 1 the jitters are ``None`` (the counters draw their own
+        streams) and ``pebs_drawn`` is a planned batch, the sampler's
+        sequenced draw tuple, or ``None`` (CHMU accumulates in the merge
+        stage).  Under schema 2 every stochastic input comes from keyed
+        substreams: prestaged tensors when replay made them plannable,
+        live per-window keyed draws otherwise -- bit-identical either
+        way.
+        """
+        pebs_drawn = None
+        cha_jitter = None
+        perf_jitter = None
+        if self.rng_schema == 2:
+            from repro.hw.substream import entry_load_fractions
+
+            if self._keyed_cha is not None and shares.n:
+                T = self.num_tiers
+                pairs = self._keyed_cha.window_values(
+                    self._window, 2 * len(traffic.groups) * T
+                ).reshape(-1, 2)
+                cha_jitter = pairs[
+                    np.asarray(shares.group_index, dtype=np.int64) * T
+                    + np.asarray(shares.tier_codes, dtype=np.int64)
+                ]
+            if self._keyed_perf is not None:
+                perf_jitter = self._keyed_perf.window_values(
+                    self._window, 2 * self.num_tiers
+                )
+            if self.policy.needs_pebs:
+                if self._pebs_plan is not None:
+                    pebs_drawn = self._pebs_plan.batch_for(self._window)
+                elif self._keyed_pebs is not None:
+                    if self._pebs_records is not None:
+                        pebs_drawn = self._pebs_records.window_records(self._window)
+                    else:
+                        lf = (
+                            entry_load_fractions(traffic.groups)
+                            if self._keyed_pebs.loads_only
+                            else None
+                        )
+                        pebs_drawn = self._keyed_pebs.window_records(
+                            self._window, all_counts, lf
+                        )
+            return pebs_drawn, cha_jitter, perf_jitter
+        if self.policy.needs_pebs:
+            if self._pebs_plan is not None:
+                pebs_drawn = self._pebs_plan.batch_for(self._window)
+            elif isinstance(self.pebs, PebsSampler):
+                pebs_drawn = self.pebs.draw(shares, tiers=self._pebs_tiers())
+        return pebs_drawn, cha_jitter, perf_jitter
+
+    def _merge_hw(self, pebs_drawn, traffic, all_pages, shares) -> PebsBatch:
+        """The window's merge stage: turn draws into a PebsBatch."""
         if not self.policy.needs_pebs:
             return PebsBatch.empty(self.pebs.rate)
-        if self._pebs_plan is not None:
-            return self._pebs_plan.batch_for(self._window)
+        if isinstance(pebs_drawn, PebsBatch):
+            # Planned batches (static replay) arrive fully merged.
+            return pebs_drawn
+        if self.rng_schema == 2 and self._keyed_pebs is not None:
+            from repro.hw.substream import entry_group_indices
+
+            batch = None
+            entry_groups = None
+            if self._keyed_pebs.report_latency:
+                batch = shares
+                entry_groups = entry_group_indices(traffic.groups)
+            return self._keyed_pebs.merge_window(
+                pebs_drawn,
+                all_pages,
+                self.memory.placement,
+                batch=batch,
+                entry_groups=entry_groups,
+            )
+        if pebs_drawn is not None:
+            return self.pebs.merge(pebs_drawn)
+        # CHMU: RNG-free accumulation, schema-independent.
         return self.pebs.sample(shares, tiers=self._pebs_tiers())
 
     def _observe(

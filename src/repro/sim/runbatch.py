@@ -18,6 +18,12 @@ Every run's result is **bit-identical** to running its machine alone --
 the property tests assert it -- so multi-run execution is purely an
 execution strategy, invisible to caches and digests.
 
+Under RNG schema 2 (:mod:`repro.hw.substream`) members do not even
+carry per-run sequential streams through the loop: every sampler and
+jitter draw is keyed by each member's own (seed, purpose, window), so
+lockstep grouping, member order, and serial execution all consume the
+same keyed values by construction.
+
 Constraints (a :class:`ValueError` asks the caller to fall back to
 serial execution):
 
