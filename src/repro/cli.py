@@ -182,6 +182,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the extra profiled repeat (no per-span breakdown)",
     )
     perf_p.add_argument(
+        "--profile", dest="cprofile", action="store_true",
+        help="dump per-scenario cProfile output (.pstats + top-40 text) "
+        "into a profiles/ directory next to the report",
+    )
+    perf_p.add_argument(
         "--baseline", default=perf_harness.DEFAULT_BASELINE_PATH,
         help="baseline JSON to compare against (default: %(default)s)",
     )
@@ -639,6 +644,11 @@ def cmd_perf(args, out) -> int:
         f"best of {args.repeats} repeats:",
         file=out,
     )
+    profile_dir = None
+    if args.cprofile:
+        profile_dir = os.path.join(
+            os.path.dirname(args.output) or ".", "profiles"
+        )
     report = perf_harness.run_suite(
         quick=args.quick,
         repeats=args.repeats,
@@ -647,7 +657,10 @@ def cmd_perf(args, out) -> int:
         replay=args.replay,
         trace_dir=args.trace_dir,
         rng_schema=args.rng_schema,
+        profile_dir=profile_dir,
     )
+    if profile_dir is not None:
+        print(f"wrote cProfile dumps to {profile_dir}", file=out)
     print(f"calibration: {report['calibration_ops_per_sec']:.1f} kernel iters/s", file=out)
     if not args.no_profile:
         for name, record in report["scenarios"].items():

@@ -44,6 +44,32 @@ def quantiles_linear(values: np.ndarray, qs: np.ndarray) -> np.ndarray:
     rewrite (``b - diff * (1 - t)``) so rounding matches in every bit.
     """
     n = values.size
+    if qs.size <= 2 and n:
+        # One or two quantiles (every per-window caller): python floats
+        # are IEEE doubles, so the virtual-index and _lerp arithmetic
+        # below matches the array path bit for bit while skipping a
+        # dozen two-element array dispatches.
+        kth = []
+        pos = []
+        for q in qs.tolist():
+            virtual = q * (n - 1.0)
+            prev = float(np.floor(virtual))
+            lo = int(prev)
+            hi = min(lo + 1, n - 1)
+            kth.append(lo)
+            kth.append(hi)
+            pos.append((lo, hi, virtual - prev))
+        part = np.partition(values, kth)
+        out = np.empty(qs.size, dtype=np.float64)
+        for i, (lo, hi, gamma) in enumerate(pos):
+            a = float(part[lo])
+            b = float(part[hi])
+            diff = b - a
+            if gamma >= 0.5:
+                out[i] = b - diff * (1.0 - gamma)
+            else:
+                out[i] = a + diff * gamma
+        return out
     virtual = qs * (n - 1.0)
     prev = np.floor(virtual)
     gamma = virtual - prev

@@ -70,14 +70,25 @@ class AdaptiveBinner:
 
     # -- updates -------------------------------------------------------------------
 
-    def observe(self, pac_values: np.ndarray, n_tracked: int, n_candidates: int) -> None:
+    def observe(
+        self,
+        pac_values: np.ndarray,
+        n_tracked: int,
+        n_candidates: int,
+        positive_values: Optional[np.ndarray] = None,
+    ) -> None:
         """Fold sampled PAC values in and adapt the bin width.
 
         ``n_tracked`` is N_page (tracked pages); ``n_candidates`` is the
         current promotion-candidate count N_c used by the scaling rule.
+        ``positive_values`` optionally passes the strictly-positive
+        subset of ``pac_values`` (in the same order) when the caller has
+        already computed it, skipping a second compress pass.
         """
-        values = np.asarray(pac_values, dtype=float)
-        self.reservoir.offer_many(values[values > 0.0])
+        if positive_values is None:
+            values = np.asarray(pac_values, dtype=float)
+            positive_values = values[values > 0.0]
+        self.reservoir.offer_many(positive_values)
         if self._frozen and self._width > 0.0:
             return
         q1, q3 = self.reservoir.quartiles()
@@ -115,6 +126,21 @@ class AdaptiveBinner:
         """
         return bin_indices(values, self._width, self.num_bins)
 
+    def top_bin_threshold(self, vmax: float) -> float:
+        """Lower edge of the top bin for a distribution peaking at ``vmax``.
+
+        Returns 0.0 when the binner has no prioritisation signal yet
+        (no width, or the whole distribution fits one bin): every
+        positive value is then a candidate.  With a threshold in hand,
+        candidate selection is a single ``values >= threshold`` compare
+        -- the cached-edge fast path :class:`~repro.core.pact.PactPolicy`
+        uses instead of re-deriving the positive set and maximum inside
+        :meth:`top_bin_mask` each planning window.
+        """
+        if self._width <= 0.0 or vmax <= self._width:
+            return 0.0
+        return vmax - self._width
+
     def top_bin_mask(self, values: np.ndarray) -> np.ndarray:
         """Mask of values in the highest-priority bin (the candidates).
 
@@ -136,12 +162,13 @@ class AdaptiveBinner:
         if self._width <= 0.0:
             return positive
         vmax = float(values[positive].max())
-        if vmax <= self._width:
+        threshold = self.top_bin_threshold(vmax)
+        if threshold <= 0.0:
             # The whole distribution fits one bin: no prioritisation
             # signal yet; everything positive is a candidate, and the
             # scaling rule will shrink W next round.
             return positive
-        return positive & (values >= vmax - self._width)
+        return positive & (values >= threshold)
 
     def debug_info(self) -> Dict[str, float]:
         return {

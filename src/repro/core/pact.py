@@ -30,6 +30,7 @@ from repro.core.policy import MigrationPlanner
 from repro.core.sampling import PacSampler
 from repro.core.tracker import PacTracker
 from repro.mem.page import Tier
+from repro.obs.profiler import null_profile as _null_profile
 from repro.sim.policy_api import Decision, Observation, TieringPolicy
 
 #: Swap-profitability bar samples the 90th percentile of demoted values.
@@ -121,6 +122,7 @@ class PactPolicy(TieringPolicy):
         self.planner: Optional[MigrationPlanner] = None
         self._last_candidate_count = 0
         self._last_top_occupancy = 0
+        self._profile = _null_profile
 
     # -- lifecycle ------------------------------------------------------------------
 
@@ -164,16 +166,24 @@ class PactPolicy(TieringPolicy):
         # Publish adaptivity gauges when the machine carries observability.
         obs = getattr(machine, "obs", None)
         self._obs = obs if obs is not None and obs.enabled else None
+        #: Span handle for the policy_track/policy_bin/policy_select
+        #: children of the machine's policy_observe span (a no-op span
+        #: factory when observability is off).
+        self._profile = obs.profile if obs is not None else _null_profile
 
     # -- per-window policy -------------------------------------------------------------
 
     def observe(self, obs: Observation) -> Decision:
-        period_complete = self.sampler.ingest(obs)
+        with self._profile("policy_track"):
+            period_complete = self.sampler.ingest(obs)
         if not period_complete:
             return Decision.none()
         self._decay_eviction_bar()
-        candidates = self._select_candidates(obs)
-        decision = self.planner.plan(candidates, obs)
+        with self._profile("policy_bin"):
+            binned = self._bin_values()
+        with self._profile("policy_select"):
+            candidates = self._rank_candidates(obs, binned)
+            decision = self.planner.plan(candidates, obs)
         if self._obs is not None:
             self._obs.gauge("pact/eviction_bar", self._eviction_bar)
             self._obs.gauge("pact/top_bin_occupancy", float(self._last_top_occupancy))
@@ -195,7 +205,46 @@ class PactPolicy(TieringPolicy):
                 self._eviction_bar = 0.0
         self._demoted_since_plan = False
 
-    def _select_candidates(self, obs: Observation) -> np.ndarray:
+    def _bin_values(self) -> "Optional[tuple]":
+        """The binning stage: fold tracked values into the reservoir,
+        adapt the width, and mark the highest-priority bin.
+
+        The positive mask is computed once and shared between the
+        reservoir feed and the top-bin selection, and the bin edge comes
+        from :meth:`AdaptiveBinner.top_bin_threshold` -- one threshold
+        compare instead of re-deriving the positive set and maximum a
+        second time inside ``top_bin_mask``.  Returns ``(tracked,
+        values, top_mask)`` or ``None`` when nothing is tracked yet.
+        """
+        tracked = self.tracker.tracked_pages()
+        if tracked.size == 0:
+            return None
+        values = self.tracker.values_for(tracked, metric=self.metric)
+        positive = values > 0.0
+        n_positive = int(np.count_nonzero(positive))
+        all_positive = n_positive == values.size
+        positive_values = values if all_positive else values[positive]
+        self.binner.observe(
+            values,
+            n_tracked=tracked.size,
+            n_candidates=max(self._last_top_occupancy, 1),
+            positive_values=positive_values,
+        )
+        if n_positive == 0:
+            top_mask = np.zeros(values.size, dtype=bool)
+        else:
+            threshold = self.binner.top_bin_threshold(float(positive_values.max()))
+            if threshold <= 0.0:
+                top_mask = positive
+            elif all_positive:
+                # values >= threshold > 0 already implies positivity.
+                top_mask = values >= threshold
+            else:
+                top_mask = positive & (values >= threshold)
+        self._last_top_occupancy = int(np.count_nonzero(top_mask))
+        return tracked, values, top_mask
+
+    def _rank_candidates(self, obs: Observation, binned: "Optional[tuple]") -> np.ndarray:
         """Adaptive promotion: pages in the highest-priority bin that are
         currently resident in the slow tier (§4.5).
 
@@ -205,15 +254,9 @@ class PactPolicy(TieringPolicy):
         genuinely climbs into the top bin, not because the policy must
         manufacture a steady candidate stream.
         """
-        tracked = self.tracker.tracked_pages()
-        if tracked.size == 0:
+        if binned is None:
             return np.empty(0, dtype=np.int64)
-        values = self.tracker.values_for(tracked, metric=self.metric)
-        self.binner.observe(
-            values, n_tracked=tracked.size, n_candidates=max(self._last_top_occupancy, 1)
-        )
-        top_mask = self.binner.top_bin_mask(values)
-        self._last_top_occupancy = int(top_mask.sum())
+        tracked, values, top_mask = binned
         in_slow = obs.memory.tier_of(tracked) >= 1
         cooled_down = (
             obs.window - self._promoted_at[tracked] > self.promotion_cooldown_windows
@@ -296,12 +339,17 @@ class PactPolicy(TieringPolicy):
 
     def _space_budget(self, obs: Observation) -> int:
         """Fast-tier pages obtainable this window: free space plus pages
-        the kernel's LRU would classify as inactive (demotable)."""
+        the kernel's LRU would classify as inactive (demotable).
+
+        The cold count comes from :meth:`TieredMemory.cold_count` -- the
+        memoised per-tier form of the old ``activity[fast_pages]``
+        gather-and-compare, answered O(1) for repeated queries within a
+        window.
+        """
         memory = obs.memory
         free_now = memory.free_pages(Tier.FAST)
         threshold = self._cold_fraction * memory.mean_activity(Tier.FAST)
-        fast_pages = memory.pages_in_tier(Tier.FAST)
-        cold = int((memory.activity[fast_pages] <= threshold).sum())
+        cold = memory.cold_count(Tier.FAST, threshold)
         return free_now + cold
 
     def _window_promotion_cap(self, obs: Observation) -> int:

@@ -134,16 +134,28 @@ class PacSampler:
 
     @staticmethod
     def _merge(acc: _PeriodAccumulator):
-        """Merge per-window PEBS batches into one page-indexed set."""
+        """Merge per-window PEBS batches into one page-indexed set.
+
+        Sort-based grouping instead of ``np.unique(return_inverse=True)``
+        (hash-dominated at these sizes): a stable argsort groups each
+        page's records while preserving their within-page input order,
+        so segment reductions see the records in exactly the order the
+        scatter-add used to -- integer count sums are order-free anyway,
+        and the latency fold (floats) keeps bit-identical rounding.
+        """
         pages = np.concatenate(acc.pages)
         counts = np.concatenate(acc.counts)
-        uniq, inverse = np.unique(pages, return_inverse=True)
-        merged = np.zeros(uniq.size, dtype=np.int64)
-        np.add.at(merged, inverse, counts)
+        order = np.argsort(pages, kind="stable")
+        ordered = pages[order]
+        keep = np.empty(ordered.size, dtype=bool)
+        keep[0] = True
+        np.not_equal(ordered[1:], ordered[:-1], out=keep[1:])
+        starts = np.flatnonzero(keep)
+        uniq = ordered[starts]
+        merged = np.add.reduceat(counts[order], starts)
         latencies = None
         if acc.latencies and len(acc.latencies) == len(acc.pages):
             lat = np.concatenate(acc.latencies)
-            weighted = np.zeros(uniq.size, dtype=float)
-            np.add.at(weighted, inverse, lat * counts)
+            weighted = np.add.reduceat((lat * counts)[order], starts)
             latencies = weighted / np.maximum(merged, 1)
         return uniq, merged, latencies

@@ -20,9 +20,21 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.common.arrays import merge_sorted_unique, sorted_unique
+
 
 class PacTracker:
-    """Per-page PAC accumulation over a fixed footprint."""
+    """Per-page PAC accumulation over a fixed footprint.
+
+    The tracked-page *set* is maintained incrementally: ``update``
+    merges newly seen pages into a sorted id list (O(new + tracked)
+    only when new pages actually appear, O(new) to discover there are
+    none), so per-window queries -- ``tracked_pages``, ``len``,
+    ``cool_distant`` -- cost O(tracked) or O(1) instead of rescanning
+    the whole footprint.  The list is bit-identical to
+    ``np.flatnonzero(self.tracked)`` at all times (the incremental
+    property test pins this across cooling epochs and drops).
+    """
 
     def __init__(self, footprint_pages: int):
         if footprint_pages <= 0:
@@ -34,9 +46,19 @@ class PacTracker:
         self.last_sample_counter = np.zeros(footprint_pages, dtype=np.int64)
         #: Global PEBS-record counter (drives distance-based cooling).
         self.sample_counter = 0
+        #: Sorted ids of tracked pages, maintained by the mutators.
+        self._tracked_list = np.empty(0, dtype=np.int64)
+        #: True when ``drop`` invalidated the list (rebuilt lazily).
+        self._tracked_dirty = False
 
     def __len__(self) -> int:
-        return int(self.tracked.sum())
+        if self._tracked_dirty:
+            self._rebuild_tracked()
+        return int(self._tracked_list.size)
+
+    def _rebuild_tracked(self) -> None:
+        self._tracked_list = np.flatnonzero(self.tracked).astype(np.int64)
+        self._tracked_dirty = False
 
     # -- updates -----------------------------------------------------------------
 
@@ -60,7 +82,15 @@ class PacTracker:
             return
         self.pac[pages] = alpha * self.pac[pages] + np.asarray(attributed_stalls, dtype=float)
         self.frequency[pages] += np.asarray(access_counts, dtype=float)
-        self.tracked[pages] = True
+        fresh = pages[~self.tracked[pages]]
+        if fresh.size:
+            self.tracked[fresh] = True
+            if self._tracked_dirty:
+                self._rebuild_tracked()
+            else:
+                self._tracked_list = merge_sorted_unique(
+                    self._tracked_list, sorted_unique(fresh)
+                )
         self.sample_counter += int(np.asarray(access_counts).sum())
         self.last_sample_counter[pages] = self.sample_counter
 
@@ -70,17 +100,21 @@ class PacTracker:
         Pages whose last capture is more than ``distance_threshold``
         samples behind the global counter have their PAC multiplied by
         ``factor`` (0.5 = halve, 0.0 = reset).  Returns pages cooled.
+        Walks the tracked-page list (pages off it can never be stale),
+        not the whole footprint.
         """
         if distance_threshold <= 0:
             raise ValueError("distance threshold must be positive")
-        stale = self.tracked & (
-            self.sample_counter - self.last_sample_counter > distance_threshold
-        )
+        tracked = self.tracked_pages()
+        stale = (
+            self.sample_counter - self.last_sample_counter[tracked]
+        ) > distance_threshold
         count = int(stale.sum())
         if count:
-            self.pac[stale] *= factor
+            idx = tracked[stale]
+            self.pac[idx] *= factor
             # Re-stamp so a page is cooled once per staleness episode.
-            self.last_sample_counter[stale] = self.sample_counter
+            self.last_sample_counter[idx] = self.sample_counter
         return count
 
     def drop(self, pages: np.ndarray) -> None:
@@ -90,11 +124,20 @@ class PacTracker:
         self.frequency[pages] = 0.0
         self.tracked[pages] = False
         self.last_sample_counter[pages] = 0
+        # Deletion is rare (the policies only ever add); rebuild lazily.
+        self._tracked_dirty = True
 
     # -- queries -----------------------------------------------------------------
 
     def tracked_pages(self) -> np.ndarray:
-        return np.flatnonzero(self.tracked).astype(np.int64)
+        """Sorted ids of all tracked pages (treat as read-only).
+
+        Served from the incrementally maintained list; identical to
+        ``np.flatnonzero(self.tracked)``.
+        """
+        if self._tracked_dirty:
+            self._rebuild_tracked()
+        return self._tracked_list
 
     def values_for(self, pages: np.ndarray, metric: str = "pac") -> np.ndarray:
         """Per-page metric values; ``metric`` is 'pac' or 'frequency'."""

@@ -202,6 +202,126 @@ def build_static_batches(
     return batches
 
 
+class EntryMetaPlan:
+    """Prestaged trace-determined entry metadata for *dynamic* replay.
+
+    Dynamic policies re-split every window (placement moves), but most
+    of the split's per-entry inputs never depend on placement at all:
+    the packed ``group * num_tiers`` key base, the float view of the
+    miss counts (weighted ``bincount`` wants float64 weights), and
+    whether any entry carries a zero count.
+    All of it is computed here once, at attach time, so the timed loop
+    keeps only the placement-dependent work: one gather, one add, one
+    weighted bincount.
+    """
+
+    __slots__ = ("entry_ptr", "key_base", "counts_f", "counts_positive")
+
+    def __init__(self, entry_ptr, key_base, counts_f, counts_positive):
+        self.entry_ptr = entry_ptr
+        #: Flat per-entry ``group_index * num_tiers`` (None when no
+        #: recorded window has more than one group).
+        self.key_base = key_base
+        self.counts_f = counts_f
+        #: True when every recorded count is >= 1 (then cell presence
+        #: follows from the weighted bincount alone).
+        self.counts_positive = counts_positive
+
+    def window(self, w: int):
+        """``(key_base_slice|None, counts_f_slice)`` for window ``w``."""
+        e0 = self.entry_ptr[w]
+        e1 = self.entry_ptr[w + 1]
+        kb = self.key_base[e0:e1] if self.key_base is not None else None
+        return kb, self.counts_f[e0:e1]
+
+
+def build_entry_meta(data, num_tiers: int) -> EntryMetaPlan:
+    """Precompute :class:`EntryMetaPlan` from recorded trace columns."""
+    c = data.columns
+    wgp = np.asarray(c["window_group_ptr"])
+    gpp = np.asarray(c["group_page_ptr"])
+    counts = np.asarray(c["counts"])
+    entry_ptr = np.asarray(gpp[wgp], dtype=np.int64)
+    groups_per_window = np.diff(wgp)
+    if groups_per_window.size and int(groups_per_window.max()) > 1:
+        # Window-local group index of every entry, flattened: subtract
+        # each window's first global group id, then expand per entry.
+        gi_local = np.arange(gpp.size - 1, dtype=np.intp) - np.repeat(
+            wgp[:-1].astype(np.intp), groups_per_window
+        )
+        key_base = np.repeat(gi_local * num_tiers, np.diff(gpp))
+    else:
+        key_base = None
+    counts_f = counts.astype(np.float64)
+    counts_positive = bool(counts.min() >= 1) if counts.size else True
+    return EntryMetaPlan(entry_ptr, key_base, counts_f, counts_positive)
+
+
+class PebsPosPlan:
+    """Prestaged nonzero-record positions of a keyed PEBS record plan.
+
+    Keyed PEBS draws records for *every* trace entry, but the merge
+    only ever looks at entries whose record count is positive -- a
+    trace-determined subset, typically a small fraction of the window.
+    Prestaging the positions (plus their pages and records) shrinks the
+    per-window merge to a gather + compress over that subset.
+    """
+
+    __slots__ = ("_ptr", "pos_idx", "pages_pos", "recs_pos", "sorted_unique")
+
+    def __init__(self, ptr, pos_idx, pages_pos, recs_pos, sorted_unique):
+        self._ptr = ptr
+        #: Window-local entry indices of the positive-record entries.
+        self.pos_idx = pos_idx
+        self.pages_pos = pages_pos
+        self.recs_pos = recs_pos
+        self.sorted_unique = sorted_unique
+
+    def window(self, w: int):
+        s0 = self._ptr[w]
+        s1 = self._ptr[w + 1]
+        return (
+            self.pos_idx[s0:s1],
+            self.pages_pos[s0:s1],
+            self.recs_pos[s0:s1],
+            bool(self.sorted_unique[w]),
+        )
+
+
+def build_pebs_pos(record_plan, data) -> PebsPosPlan:
+    """Index a :class:`~repro.hw.substream.PebsRecordPlan` by record > 0."""
+    c = data.columns
+    wgp = np.asarray(c["window_group_ptr"])
+    gpp = np.asarray(c["group_page_ptr"])
+    pages = np.asarray(c["pages"])
+    entry_ptr = np.asarray(gpp[wgp], dtype=np.int64)
+    num_windows = wgp.size - 1
+    ptr = np.zeros(num_windows + 1, dtype=np.int64)
+    idx_chunks: List[np.ndarray] = []
+    page_chunks: List[np.ndarray] = []
+    rec_chunks: List[np.ndarray] = []
+    sorted_unique = np.empty(num_windows, dtype=bool)
+    for w in range(num_windows):
+        recs = record_plan.window_records(w)
+        pos = np.flatnonzero(recs)
+        pp = pages[entry_ptr[w] : entry_ptr[w + 1]][pos]
+        idx_chunks.append(pos)
+        page_chunks.append(pp)
+        rec_chunks.append(recs[pos])
+        sorted_unique[w] = pp.size <= 1 or bool((pp[1:] > pp[:-1]).all())
+        ptr[w + 1] = ptr[w] + pos.size
+    cat = lambda chunks, dt: (
+        np.concatenate(chunks) if chunks else np.empty(0, dtype=dt)
+    )
+    return PebsPosPlan(
+        ptr,
+        cat(idx_chunks, np.int64),
+        cat(page_chunks, np.int64),
+        cat(rec_chunks, np.int64),
+        sorted_unique,
+    )
+
+
 class StaticSplitPlan:
     """Per-window pre-sliced share batches for a frozen placement."""
 
@@ -472,16 +592,46 @@ def attach(machine) -> bool:
 
                 if isinstance(sampler, ChmuSampler):
                     machine._pebs_plan = plan_chmu_batches(sampler, batches)
+    if machine._split_plan is None:
+        # Dynamic placement: the split itself stays in the loop, but its
+        # trace-determined inputs (key bases, float counts, sortedness)
+        # leave it.  The plan depends only on (trace, num_tiers), so
+        # lockstep multi-run members replaying the same trace share one.
+        cached = getattr(data, "_entry_meta_cache", None)
+        if cached is None or cached[0] != machine.num_tiers:
+            cached = (machine.num_tiers, build_entry_meta(data, machine.num_tiers))
+            try:
+                data._entry_meta_cache = cached
+            except AttributeError:  # pragma: no cover - slotted data
+                pass
+        machine._entry_meta = cached[1]
+        engaged = True
+        if (
+            machine._keyed_pebs is not None
+            and machine._pebs_plan is None
+            and machine._pebs_records is not None
+            and not machine._keyed_pebs.report_latency
+        ):
+            # Keyed PEBS under a moving placement: prestage the
+            # positive-record subset; the merge becomes a gather over
+            # it (latency-reporting samplers keep the full records --
+            # their per-entry latency lookup needs the solved shares).
+            machine._pebs_pos = build_pebs_pos(machine._pebs_records, data)
+            machine._pebs_records = None
     return engaged
 
 
 __all__ = [
     "ENV_DISABLE",
+    "EntryMetaPlan",
     "NormalDrawStream",
+    "PebsPosPlan",
     "StaticSplitPlan",
     "WindowSamplePlan",
     "WindowSolvePlan",
     "attach",
+    "build_entry_meta",
+    "build_pebs_pos",
     "build_static_batches",
     "plan_chmu_batches",
     "plan_keyed_pebs_batches",

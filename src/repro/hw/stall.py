@@ -57,6 +57,13 @@ QUEUE_GAIN = 0.6
 
 _FIXED_POINT_ITERATIONS = 4
 
+#: Row-count cutoff below which :meth:`StallModel._solve_batch` runs the
+#: fixed point as plain Python floats.  At typical dynamic-replay widths
+#: (groups x tiers ~ 12 rows) the four iterations cost ~16 small-array
+#: numpy dispatches; scalar IEEE doubles do the same ops in the same
+#: order (bit-identical) for a fraction of the overhead.
+_SCALAR_SOLVE_ROWS = 32
+
 
 @dataclass
 class GroupTierShare:
@@ -140,6 +147,8 @@ class ShareBatch:
         unit_stall_cycles: np.ndarray,
         stall_scratch: np.ndarray,
         num_tiers: int = 2,
+        misses_f: Optional[np.ndarray] = None,
+        tier_misses: Optional[tuple] = None,
     ):
         self.n = n
         self.num_tiers = num_tiers
@@ -154,7 +163,10 @@ class ShareBatch:
         #: legacy pipeline re-reduced ``counts.sum()`` many times per
         #: share per window).
         self.misses = misses
-        self.misses_f = misses.astype(np.float64)
+        self.misses_f = misses.astype(np.float64) if misses_f is None else misses_f
+        #: ``None`` in a misses-only batch (see ``split_groups``):
+        #: ``pages_of``/``counts_of`` then fail loudly rather than
+        #: returning wrong slices.
         self.offsets = offsets
         self.pages_buf = pages_buf
         self.counts_buf = counts_buf
@@ -164,9 +176,11 @@ class ShareBatch:
         #: Solver scratch for per-row stall weights (reused each iteration).
         self.stall_scratch = stall_scratch
         #: Per-tier miss totals, indexed by ``int(tier)``.
-        self.tier_misses = tuple(
-            int(misses[tier_codes == code].sum()) for code in range(num_tiers)
-        )
+        if tier_misses is None:
+            tier_misses = tuple(
+                int(misses[tier_codes == code].sum()) for code in range(num_tiers)
+            )
+        self.tier_misses = tier_misses
         self._materialised: Optional[List[GroupTierShare]] = None
 
     # -- per-row views -------------------------------------------------------
@@ -314,6 +328,7 @@ class StallModel:
         self._page_scratch = np.empty(0, dtype=np.int64)
         self._count_scratch = np.empty(0, dtype=np.int64)
         self._mask_scratch = np.empty(0, dtype=bool)
+        self._key_scratch = np.empty(0, dtype=np.intp)
         self._row_capacity = 0
         self._row_cols: Dict[str, np.ndarray] = {}
 
@@ -325,18 +340,57 @@ class StallModel:
         placement: np.ndarray,
         pages: Optional[np.ndarray] = None,
         counts: Optional[np.ndarray] = None,
+        tiers: Optional[np.ndarray] = None,
+        misses_only: bool = False,
+        key_base: Optional[np.ndarray] = None,
+        counts_f: Optional[np.ndarray] = None,
+        counts_positive: bool = False,
+        assume_allocated: bool = False,
     ) -> ShareBatch:
         """Partition each group's traffic by placement, columnar.
 
-        One vectorised pass: a single ``placement`` gather over the
-        window's concatenated pages, then per (group, tier) a mask +
-        ``np.compress`` into the model-owned partitioned buffers.  Rows
-        come out in the legacy share order (per group: FAST then SLOW).
+        One ``placement`` gather over the window's concatenated pages,
+        then a stable partition into the model-owned buffers.  Two
+        equivalent strategies, picked by shape: with few (group, tier)
+        cells -- the common case, a handful of groups on two tiers --
+        a per-cell mask + ``np.compress`` loop is the cheapest stable
+        counting sort; with many cells one stable argsort on the packed
+        ``group * num_tiers + tier`` key replaces the per-cell passes.
+        Both keep entries with equal keys in input order, so each row's
+        page and count buffers are byte-identical either way, and rows
+        emerge in the legacy share order (per group: FAST then SLOW,
+        empty cells skipped).  Entries on UNALLOCATED pages are dropped,
+        mirroring the legacy masks that matched no tier.
 
         ``pages``/``counts`` optionally pass in the already-concatenated
         traffic (the machine builds that concatenation anyway for the
-        LRU touch); when omitted it is built here.  The returned batch
-        aliases model scratch and is valid until the next call.
+        LRU touch); when omitted it is built here.  ``tiers`` optionally
+        passes the per-entry placement gather (``placement[pages]``)
+        when the caller already holds it for the same window.  The
+        returned batch aliases model scratch and is valid until the
+        next call.
+
+        ``misses_only=True`` skips the page/count partition entirely:
+        per-row miss totals come from one weighted bincount over the
+        packed (group, tier) key, and the returned batch carries
+        ``pages_buf=None`` (``pages_of``/``counts_of`` fail loudly).
+        Everything the solver, the TOR/perf counters, and the schema-2
+        keyed samplers read (row order, misses, mlp, load fractions,
+        tier totals) is bit-identical to the partitioned form -- only
+        consumers that walk per-share page lists (the schema-1
+        PEBS/CHMU samplers, the drawplan builders) need the buffers.
+
+        The remaining keyword hints let a replay driver hand in
+        prestaged trace-determined inputs
+        (:class:`repro.hw.drawplan.EntryMetaPlan`): ``key_base`` is the
+        per-entry ``group * num_tiers`` term of the packed key,
+        ``counts_f`` the float64 view of ``counts`` (weighted bincount
+        accumulates float64 either way), ``counts_positive`` asserts
+        every count is >= 1 (cell presence then follows from the
+        weighted bincount, skipping the unweighted one), and
+        ``assume_allocated`` asserts no entry sits on an UNALLOCATED
+        page (skipping the min scan).  Each hint removes a per-entry
+        pass without changing a single output bit.
         """
         n_groups = len(groups)
         if pages is None:
@@ -349,9 +403,10 @@ class StallModel:
                 pages = np.concatenate([g.pages for g in groups])
                 counts = np.concatenate([g.counts for g in groups])
         total = pages.size
-        if self._page_scratch.size < total:
+        if not misses_only and self._page_scratch.size < total:
             self._page_scratch = np.empty(total, dtype=np.int64)
             self._count_scratch = np.empty(total, dtype=np.int64)
+        if self._mask_scratch.size < total:
             self._mask_scratch = np.empty(total, dtype=bool)
         max_rows = self.num_tiers * n_groups
         if self._row_capacity < max_rows or not self._row_cols:
@@ -367,41 +422,141 @@ class StallModel:
                 "stall_w": np.empty(cap, dtype=np.float64),
             }
         cols = self._row_cols
-        tiers_all = placement[pages]
-        labels: List[str] = []
-        row = 0
-        off = 0
-        cols["offsets"][0] = 0
-        start = 0
-        for gi, group in enumerate(groups):
-            size = group.pages.size
-            sub = tiers_all[start : start + size]
-            for tier_code in range(self.num_tiers):
+        tiers_all = placement[pages] if tiers is None else tiers
+        num_tiers = self.num_tiers
+        if misses_only:
+            return self._split_misses_only(
+                groups,
+                tiers_all,
+                counts,
+                total,
+                n_groups,
+                max_rows,
+                key_base=key_base,
+                counts_f=counts_f,
+                counts_positive=counts_positive,
+                assume_allocated=assume_allocated,
+            )
+        if max_rows <= 32:
+            labels = []
+            row = 0
+            off = 0
+            cols["offsets"][0] = 0
+            start = 0
+            for gi, group in enumerate(groups):
+                size = group.pages.size
+                sub = tiers_all[start : start + size]
                 mask = self._mask_scratch[:size]
-                np.equal(sub, tier_code, out=mask)
-                k = int(np.count_nonzero(mask))
-                if k == 0:
-                    continue
-                np.compress(
-                    mask, pages[start : start + size], out=self._page_scratch[off : off + k]
-                )
-                np.compress(
-                    mask, counts[start : start + size], out=self._count_scratch[off : off + k]
-                )
-                cols["group_index"][row] = gi
-                cols["tier_codes"][row] = tier_code
-                cols["mlp"][row] = group.mlp
-                cols["load_fraction"][row] = group.load_fraction
-                labels.append(group.label)
-                off += k
-                row += 1
-                cols["offsets"][row] = off
-            start += size
-        offsets = cols["offsets"][: row + 1]
-        if row:
-            misses = np.add.reduceat(self._count_scratch[:off], offsets[:-1])
+                for tier_code in range(num_tiers):
+                    np.equal(sub, tier_code, out=mask)
+                    k = int(np.count_nonzero(mask))
+                    if k == 0:
+                        continue
+                    np.compress(
+                        mask,
+                        pages[start : start + size],
+                        out=self._page_scratch[off : off + k],
+                    )
+                    np.compress(
+                        mask,
+                        counts[start : start + size],
+                        out=self._count_scratch[off : off + k],
+                    )
+                    cols["group_index"][row] = gi
+                    cols["tier_codes"][row] = tier_code
+                    cols["mlp"][row] = group.mlp
+                    cols["load_fraction"][row] = group.load_fraction
+                    labels.append(group.label)
+                    off += k
+                    row += 1
+                    cols["offsets"][row] = off
+                start += size
+            offsets = cols["offsets"][: row + 1]
+            if row:
+                misses = np.add.reduceat(self._count_scratch[:off], offsets[:-1])
+            else:
+                misses = np.empty(0, dtype=np.int64)
+            return ShareBatch(
+                n=row,
+                group_index=cols["group_index"][:row],
+                tier_codes=cols["tier_codes"][:row],
+                mlp=cols["mlp"][:row],
+                load_fraction=cols["load_fraction"][:row],
+                misses=misses,
+                offsets=offsets,
+                pages_buf=self._page_scratch[:off],
+                counts_buf=self._count_scratch[:off],
+                labels=labels,
+                unit_stall_cycles=cols["unit"][:row],
+                stall_scratch=cols["stall_w"][:row],
+                num_tiers=num_tiers,
+            )
+        if n_groups <= 1:
+            key = tiers_all
         else:
+            # int16 packing keeps numpy's radix path for the stable sort;
+            # fall back to int64 for (pathologically) huge group counts.
+            key_dtype = np.int16 if n_groups * num_tiers < 32000 else np.int64
+            gi_all = np.repeat(
+                np.arange(n_groups, dtype=key_dtype),
+                [g.pages.size for g in groups],
+            )
+            key = gi_all * key_dtype(num_tiers)
+            np.add(key, tiers_all, out=key, casting="unsafe")
+        if total and int(tiers_all.min()) < 0:
+            valid = tiers_all >= 0
+            pages = pages[valid]
+            counts = counts[valid]
+            key = key[valid]
+            total = pages.size
+        order = np.argsort(key, kind="stable")
+        sorted_key = key[order]
+        page_buf = self._page_scratch[:total]
+        count_buf = self._count_scratch[:total]
+        if pages.dtype == np.int64:
+            np.take(pages, order, out=page_buf)
+        else:
+            page_buf[:] = pages[order]
+        if counts.dtype == np.int64:
+            np.take(counts, order, out=count_buf)
+        else:
+            count_buf[:] = counts[order]
+        labels: List[str]
+        if total:
+            change = np.empty(total, dtype=bool)
+            change[0] = True
+            np.not_equal(sorted_key[1:], sorted_key[:-1], out=change[1:])
+            starts = np.flatnonzero(change)
+            row = starts.size
+            row_keys = sorted_key[starts].astype(np.int64)
+            if n_groups <= 1:
+                row_gi = np.zeros(row, dtype=np.int64)
+                row_tier = row_keys
+            else:
+                row_gi = row_keys // num_tiers
+                row_tier = row_keys - row_gi * num_tiers
+            cols["group_index"][:row] = row_gi
+            cols["tier_codes"][:row] = row_tier
+            cols["offsets"][:row] = starts
+            cols["offsets"][row] = total
+            if n_groups == 1:
+                cols["mlp"][:row] = groups[0].mlp
+                cols["load_fraction"][:row] = groups[0].load_fraction
+                labels = [groups[0].label] * row
+            else:
+                cols["mlp"][:row] = np.array([g.mlp for g in groups])[row_gi]
+                cols["load_fraction"][:row] = np.array(
+                    [g.load_fraction for g in groups]
+                )[row_gi]
+                labels = [groups[gi].label for gi in row_gi]
+            misses = np.add.reduceat(count_buf, starts)
+        else:
+            row = 0
+            cols["offsets"][0] = 0
+            labels = []
             misses = np.empty(0, dtype=np.int64)
+        off = total
+        offsets = cols["offsets"][: row + 1]
         return ShareBatch(
             n=row,
             group_index=cols["group_index"][:row],
@@ -416,6 +571,115 @@ class StallModel:
             unit_stall_cycles=cols["unit"][:row],
             stall_scratch=cols["stall_w"][:row],
             num_tiers=self.num_tiers,
+        )
+
+    def _split_misses_only(
+        self,
+        groups: Sequence[AccessGroup],
+        tiers_all: np.ndarray,
+        counts: np.ndarray,
+        total: int,
+        n_groups: int,
+        max_rows: int,
+        key_base: Optional[np.ndarray] = None,
+        counts_f: Optional[np.ndarray] = None,
+        counts_positive: bool = False,
+        assume_allocated: bool = False,
+    ) -> ShareBatch:
+        """The bincount split: per-(group, tier) totals, no partition.
+
+        Bincounts over the packed ``group * num_tiers + tier`` key --
+        one unweighted for cell presence (count-zero entries still
+        create shares, exactly like the legacy masks; skipped when the
+        caller guarantees every count is positive), one count-weighted
+        for per-cell misses -- replace the stable partition entirely.
+        Weighted bincount accumulates float64, but the weights are
+        integer miss counts well below 2**53, so the cast back to int64
+        is exact and every downstream value matches the partitioned
+        path bit for bit.
+        """
+        num_tiers = self.num_tiers
+        cols = self._row_cols
+        weights = counts if counts_f is None else counts_f
+        if not assume_allocated and total and int(tiers_all.min()) < 0:
+            # UNALLOCATED (-1) entries would alias the previous group's
+            # last tier in the packed key; the legacy masks silently
+            # drop them.
+            valid = tiers_all >= 0
+            tiers_all = tiers_all[valid]
+            weights = weights[valid]
+            key_base = None
+            if n_groups > 1:
+                gi_all = np.repeat(
+                    np.arange(n_groups, dtype=np.intp),
+                    [g.pages.size for g in groups],
+                )[valid]
+        elif n_groups > 1 and key_base is None:
+            gi_all = np.repeat(
+                np.arange(n_groups, dtype=np.intp),
+                [g.pages.size for g in groups],
+            )
+        if n_groups <= 1:
+            key = tiers_all
+        elif key_base is not None:
+            if self._key_scratch.size < total:
+                self._key_scratch = np.empty(total, dtype=np.intp)
+            key = self._key_scratch[:total]
+            np.add(key_base, tiers_all, out=key, casting="unsafe")
+        else:
+            key = gi_all * num_tiers
+            np.add(key, tiers_all, out=key, casting="unsafe")
+        cell_misses = np.bincount(key, weights=weights, minlength=max_rows)
+        if counts_positive:
+            # Every entry's count is >= 1, so a cell is present exactly
+            # when its miss sum is nonzero (integer-valued floats: a
+            # present cell sums to >= 1.0, an absent one to exactly 0.0).
+            row_keys = np.flatnonzero(cell_misses)
+        else:
+            presence = np.bincount(key, minlength=max_rows)
+            row_keys = np.flatnonzero(presence)
+        row = row_keys.size
+        misses_f = cell_misses[row_keys]
+        misses = misses_f.astype(np.int64)
+        tier_misses = tuple(
+            int(cell_misses[code::num_tiers].sum()) for code in range(num_tiers)
+        )
+        if n_groups <= 1:
+            row_gi = np.zeros(row, dtype=np.int64)
+            row_tier = row_keys.astype(np.intp)
+        else:
+            row_gi = row_keys // num_tiers
+            row_tier = (row_keys - row_gi * num_tiers).astype(np.intp)
+        cols["group_index"][:row] = row_gi
+        cols["tier_codes"][:row] = row_tier
+        if n_groups == 1:
+            cols["mlp"][:row] = groups[0].mlp
+            cols["load_fraction"][:row] = groups[0].load_fraction
+            labels = [groups[0].label] * row
+        elif n_groups:
+            cols["mlp"][:row] = np.array([g.mlp for g in groups])[row_gi]
+            cols["load_fraction"][:row] = np.array(
+                [g.load_fraction for g in groups]
+            )[row_gi]
+            labels = [groups[gi].label for gi in row_gi]
+        else:
+            labels = []
+        return ShareBatch(
+            n=row,
+            group_index=cols["group_index"][:row],
+            tier_codes=cols["tier_codes"][:row],
+            mlp=cols["mlp"][:row],
+            load_fraction=cols["load_fraction"][:row],
+            misses=misses,
+            offsets=None,
+            pages_buf=None,
+            counts_buf=None,
+            labels=labels,
+            unit_stall_cycles=cols["unit"][:row],
+            stall_scratch=cols["stall_w"][:row],
+            num_tiers=num_tiers,
+            misses_f=misses_f,
+            tier_misses=tier_misses,
         )
 
     # -- the fixed point -----------------------------------------------------
@@ -464,6 +728,11 @@ class StallModel:
             demand_bytes = load.misses * CACHE_LINE_SIZE
             load.bytes = demand_bytes * (1.0 + self.prefetch_traffic_factor)
             load.bytes += float(extra_bytes.get(tier, 0.0))
+
+        if batch.n <= _SCALAR_SOLVE_ROWS:
+            return self._solve_batch_scalar(
+                batch, loads, compute_cycles, extra_cycles
+            )
 
         codes = batch.tier_codes
         unit = batch.unit_stall_cycles
@@ -518,6 +787,77 @@ class StallModel:
             duration_cycles=duration,
         )
 
+    def _solve_batch_scalar(
+        self,
+        batch: ShareBatch,
+        loads: Dict[Tier, "TierLoad"],
+        compute_cycles: float,
+        extra_cycles: float,
+    ) -> WindowHardware:
+        """The fixed point of :meth:`_solve_batch` as plain Python floats.
+
+        Python floats are IEEE doubles, and the per-row accumulation
+        below performs ``misses_f[i] * (lat[code] / mlp[i])`` and the
+        per-bucket sums in exactly the take/divide/multiply/bincount
+        order of the vectorised path, so every result is bit-identical.
+        At the handful-of-rows widths dynamic replay produces, skipping
+        ~16 small-array numpy dispatches per window is a clear win.
+        """
+        n = batch.n
+        codes_l = batch.tier_codes[:n].tolist()
+        mlp_l = batch.mlp[:n].tolist()
+        misses_l = batch.misses_f[:n].tolist()
+        num_tiers = self.num_tiers
+        lat = [0.0] * num_tiers
+
+        duration = max(compute_cycles + extra_cycles, 1.0)
+        residual = 0.0
+        for _ in range(_FIXED_POINT_ITERATIONS):
+            for tier, load in loads.items():
+                spec = self.spec[tier]
+                duration_ns = duration / self.freq_ghz
+                supply = spec.bytes_per_ns() * duration_ns
+                util = min(load.bytes / supply if supply > 0 else 0.0, MAX_UTILISATION)
+                load.utilisation = util
+                inflation = 1.0 + QUEUE_GAIN * util / (1.0 - util)
+                load.effective_latency_cycles = ns_to_cycles(spec.latency_ns, self.freq_ghz) * inflation
+                lat[int(tier)] = load.effective_latency_cycles
+            tier_stalls = [0.0] * num_tiers
+            for i in range(n):
+                c = codes_l[i]
+                tier_stalls[c] += misses_l[i] * (lat[c] / mlp_l[i])
+            total_stalls = 0.0
+            for tier, load in loads.items():
+                load.stall_cycles = tier_stalls[int(tier)]
+                total_stalls += load.stall_cycles
+            new_duration = max(compute_cycles + extra_cycles + total_stalls, 1.0)
+            residual = abs(new_duration - duration) / new_duration
+            duration = 0.5 * duration + 0.5 * new_duration
+
+        if self._obs is not None:
+            self._obs.gauge("stall/fixed_point_residual", residual)
+        # Downstream consumers (CHA/PEBS attribution, migration budgets)
+        # read the last iteration's per-row unit costs off the batch.
+        batch.unit_stall_cycles[:n] = [
+            lat[codes_l[i]] / mlp_l[i] for i in range(n)
+        ]
+        inv = [0.0] * num_tiers
+        for i in range(n):
+            inv[codes_l[i]] += misses_l[i] / mlp_l[i]
+        for tier, load in loads.items():
+            total = batch.tier_misses[int(tier)]
+            if total == 0:
+                load.mlp = 1.0
+                continue
+            tier_inv = inv[int(tier)]
+            load.mlp = total / tier_inv if tier_inv > 0 else 1.0
+        return WindowHardware(
+            shares=batch,
+            tier_loads=loads,
+            compute_cycles=compute_cycles,
+            duration_cycles=duration,
+        )
+
     def solve_many(
         self,
         batches: Sequence[ShareBatch],
@@ -554,6 +894,10 @@ class StallModel:
             loads_list.append(loads)
 
         sizes = [b.n for b in batches]
+        if sum(sizes) <= _SCALAR_SOLVE_ROWS * 4:
+            return self._solve_many_scalar(
+                batches, loads_list, compute_cycles, extra_cycles_list
+            )
         bounds = [0]
         for s in sizes:
             bounds.append(bounds[-1] + s)
@@ -609,6 +953,89 @@ class StallModel:
                     load.mlp = 1.0
                     continue
                 tier_inv = float(inv[r * T + int(tier)])
+                load.mlp = total / tier_inv if tier_inv > 0 else 1.0
+            results.append(
+                WindowHardware(
+                    shares=batch,
+                    tier_loads=loads,
+                    compute_cycles=compute_cycles[r],
+                    duration_cycles=durations[r],
+                )
+            )
+        return results
+
+    def _solve_many_scalar(
+        self,
+        batches: Sequence[ShareBatch],
+        loads_list: List[Dict[Tier, "TierLoad"]],
+        compute_cycles: Sequence[float],
+        extra_cycles_list: Sequence[float],
+    ) -> List[WindowHardware]:
+        """Scalar fixed point for :meth:`solve_many` at small total widths.
+
+        Runs are independent, so solving each with the Python-float loop
+        of :meth:`_solve_batch_scalar` produces exactly the per-run
+        values of the flat batched path (whose ``r*T + t`` buckets only
+        ever mix rows of the same run) while skipping the per-window
+        flat-buffer concatenations and small-array dispatches.
+        """
+        R = len(batches)
+        T = self.num_tiers
+        codes_l = [b.tier_codes[: b.n].tolist() for b in batches]
+        mlp_l = [b.mlp[: b.n].tolist() for b in batches]
+        misses_l = [b.misses_f[: b.n].tolist() for b in batches]
+        lat = [[0.0] * T for _ in range(R)]
+        base = [compute_cycles[r] + extra_cycles_list[r] for r in range(R)]
+        durations = [max(b, 1.0) for b in base]
+        for _ in range(_FIXED_POINT_ITERATIONS):
+            for r in range(R):
+                duration = durations[r]
+                latr = lat[r]
+                for tier, load in loads_list[r].items():
+                    spec = self.spec[tier]
+                    duration_ns = duration / self.freq_ghz
+                    supply = spec.bytes_per_ns() * duration_ns
+                    util = min(load.bytes / supply if supply > 0 else 0.0, MAX_UTILISATION)
+                    load.utilisation = util
+                    inflation = 1.0 + QUEUE_GAIN * util / (1.0 - util)
+                    load.effective_latency_cycles = (
+                        ns_to_cycles(spec.latency_ns, self.freq_ghz) * inflation
+                    )
+                    latr[int(tier)] = load.effective_latency_cycles
+                tier_stalls = [0.0] * T
+                cl = codes_l[r]
+                ml = mlp_l[r]
+                mf = misses_l[r]
+                for i in range(len(cl)):
+                    c = cl[i]
+                    tier_stalls[c] += mf[i] * (latr[c] / ml[i])
+                total_stalls = 0.0
+                for tier, load in loads_list[r].items():
+                    load.stall_cycles = tier_stalls[int(tier)]
+                    total_stalls += load.stall_cycles
+                new_duration = max(base[r] + total_stalls, 1.0)
+                durations[r] = 0.5 * durations[r] + 0.5 * new_duration
+        results: List[WindowHardware] = []
+        for r in range(R):
+            batch = batches[r]
+            latr = lat[r]
+            cl = codes_l[r]
+            ml = mlp_l[r]
+            mf = misses_l[r]
+            n = batch.n
+            batch.unit_stall_cycles[:n] = [
+                latr[cl[i]] / ml[i] for i in range(n)
+            ]
+            inv = [0.0] * T
+            for i in range(n):
+                inv[cl[i]] += mf[i] / ml[i]
+            loads = loads_list[r]
+            for tier, load in loads.items():
+                total = batch.tier_misses[int(tier)]
+                if total == 0:
+                    load.mlp = 1.0
+                    continue
+                tier_inv = inv[int(tier)]
                 load.mlp = total / tier_inv if tier_inv > 0 else 1.0
             results.append(
                 WindowHardware(

@@ -85,6 +85,7 @@ class KeyedPebsSampler:
         "_key",
         "_rate_p",
         "_code_mask",
+        "_all_codes",
     )
 
     def __init__(
@@ -111,6 +112,7 @@ class KeyedPebsSampler:
         for code in sampled_codes:
             mask[int(code)] = True
         self._code_mask = mask
+        self._all_codes = bool(mask.all())
 
     def window_records(
         self, window: int, counts: np.ndarray, lf_entries: Optional[np.ndarray]
@@ -135,16 +137,20 @@ class KeyedPebsSampler:
         placement: np.ndarray,
         batch: Optional[ShareBatch] = None,
         entry_groups: Optional[np.ndarray] = None,
+        tier_of: Optional[np.ndarray] = None,
     ) -> PebsBatch:
         """Select sampled-tier entries and merge duplicates into a batch.
 
         ``batch``/``entry_groups`` are only needed for TPEBS-style
         latency reporting: each selected entry's exposed latency is its
         share's solved unit stall cost, looked up by (group, tier).
+        ``tier_of`` optionally passes the caller's ``placement[pages]``
+        gather for the same window, skipping a second one.
         """
         if pages.size == 0:
             return PebsBatch.empty(self.rate)
-        tier_of = placement[pages]
+        if tier_of is None:
+            tier_of = placement[pages]
         sel = self._code_mask[tier_of]
         np.logical_and(sel, records > 0, out=sel)
         pages_sel = pages[sel]
@@ -188,6 +194,56 @@ class KeyedPebsSampler:
             rate=self.rate,
             overhead_cycles=int(merged.sum()) * self.cycles_per_record,
             latencies=latencies,
+        )
+
+    def merge_window_pos(
+        self,
+        pos_idx: np.ndarray,
+        pages_pos: np.ndarray,
+        recs_pos: np.ndarray,
+        tier_of: np.ndarray,
+        sorted_unique: bool,
+    ) -> PebsBatch:
+        """:meth:`merge_window` over a prestaged positive-record subset.
+
+        ``pos_idx``/``pages_pos``/``recs_pos`` are the window's entries
+        with record > 0, in trace order
+        (:class:`repro.hw.drawplan.PebsPosPlan`); ``tier_of`` is the
+        caller's full-window ``placement[pages]`` gather.  Selecting
+        sampled-tier entries from this subset visits the same entries
+        in the same order as the full-window mask, so the merged batch
+        is bit-identical -- the work just scales with the records that
+        exist instead of the entries that might have had one.  Only for
+        non-latency-reporting samplers (the latency path needs per-entry
+        group indices against the solved shares).
+        """
+        if pages_pos.size == 0:
+            return PebsBatch.empty(self.rate)
+        if self._all_codes:
+            # Every tier is sampled: tier selection is a no-op (matching
+            # the full mask's behaviour for any tier value, -1 included).
+            pages_sel = pages_pos
+            recs = recs_pos
+        else:
+            sel = self._code_mask[tier_of[pos_idx]]
+            pages_sel = pages_pos[sel]
+            if pages_sel.size == 0:
+                return PebsBatch.empty(self.rate)
+            recs = recs_pos[sel]
+        if sorted_unique or _strictly_increasing(pages_sel):
+            uniq = pages_sel
+            merged = recs
+        else:
+            uniq, inverse = np.unique(pages_sel, return_inverse=True)
+            merged = np.bincount(inverse, weights=recs, minlength=uniq.size).astype(
+                np.int64
+            )
+        return PebsBatch(
+            pages=uniq,
+            counts=merged,
+            rate=self.rate,
+            overhead_cycles=int(merged.sum()) * self.cycles_per_record,
+            latencies=None,
         )
 
 

@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.common.arrays import sorted_unique
 from repro.common.units import TierSpec
 from repro.mem.page import Tier, UNALLOCATED, tier_label
 
@@ -127,10 +128,18 @@ class TieredMemory:
         self._activity_gen = 0
         #: O(delta)-maintained per-tier sum of resident pages' activity.
         self._activity_sum: List[float] = [0.0] * self.num_tiers
+        #: When True the sums above are stale and :meth:`activity_sum`
+        #: recomputes them from a full scan.  The window touch sets it
+        #: instead of paying a per-window bincount for a value nothing
+        #: on the hot path reads (see :meth:`activity_sum`'s contract:
+        #: within float rounding, not bit-stable).
+        self._activity_sums_stale = False
         #: tier index -> (placement generation, sorted resident page ids).
         self._resident_cache: Dict[int, Tuple[int, np.ndarray]] = {}
         #: tier index -> ((placement gen, activity gen), mean activity).
         self._mean_cache: Dict[int, Tuple[Tuple[int, int], float]] = {}
+        #: tier index -> ((placement gen, activity gen, threshold), count).
+        self._cold_cache: Dict[int, Tuple[Tuple[int, int, float], int]] = {}
         #: Reusable scratch mask for ``lru_victims`` protection.
         self._protect_scratch = np.zeros(footprint_pages, dtype=bool)
         if debug_accounting is None:
@@ -207,15 +216,32 @@ class TieredMemory:
         return self.used[tier] / allocated
 
     def activity_sum(self, tier: Tier) -> float:
-        """O(1) incremental sum of the tier's resident-page activity.
+        """Per-tier sum of the tier's resident-page activity.
 
-        Maintained by the mutators; within float rounding of
+        Maintained incrementally by the migration mutators and
+        recomputed lazily after window touches (the touch marks the
+        sums stale instead of paying a per-window reduction for a value
+        nothing on the hot path reads).  Within float rounding of
         ``activity[pages_in_tier(tier)].sum()`` (the debug cross-check
         asserts the two agree).  Decision paths that must be bit-stable
         use :meth:`mean_activity`, which reduces over the cached
         resident array exactly as the pre-incremental code did.
         """
+        if self._activity_sums_stale:
+            self._refresh_activity_sums()
         return self._activity_sum[tier]
+
+    def _refresh_activity_sums(self) -> None:
+        """Recompute the per-tier activity sums with full scans.
+
+        Uses the very reduction the debug cross-check compares against
+        (masked ``.sum()`` per tier), so a refreshed sum passes it
+        exactly.
+        """
+        for tier in self.tiers:
+            resident = self.placement == int(tier)
+            self._activity_sum[tier] = float(self.activity[resident].sum())
+        self._activity_sums_stale = False
 
     # -- allocation and access tracking --------------------------------------
 
@@ -273,7 +299,8 @@ class TieredMemory:
             self._charge_frames(tier, chunk, +1.0)
             # Pages can carry activity from touches predating allocation;
             # fold it into the destination tiers' running sums.
-            self._activity_sum[tier] += float(self.activity[chunk].sum())
+            if not self._activity_sums_stale:
+                self._activity_sum[tier] += float(self.activity[chunk].sum())
             pos += take
         self._placement_gen += 1
         # Allocation order is LRU-list arrival order.
@@ -284,36 +311,27 @@ class TieredMemory:
         return (int(takes[0]), int(fresh.size - takes[0]))
 
     def touch(
-        self, pages: np.ndarray, window: int, counts: Optional[np.ndarray] = None
+        self,
+        pages: np.ndarray,
+        window: int,
+        counts: Optional[np.ndarray] = None,
     ) -> None:
         """Record accesses during ``window`` (feeds LRU clock and activity).
 
         ``counts`` gives per-page access counts for the window; when
-        omitted, each page counts as one touch.
+        omitted, each page counts as one touch (fancy-indexed ``+= 1``:
+        once per *unique* page).  The per-tier activity sums are only
+        marked stale here -- :meth:`activity_sum` recomputes on demand,
+        so the window loop never pays for them.
         """
         pages = np.asarray(pages, dtype=np.int64)
         self._decay_activity(window)
         self.last_touch[pages] = window
-        tiers = self.placement[pages]
         if counts is None:
-            # Fancy-indexed += applies once per *unique* page; mirror
-            # that in the per-tier sums.
             self.activity[pages] += 1.0
-            unique_tiers = tiers if pages.size == np.unique(pages).size else (
-                self.placement[np.unique(pages)]
-            )
-            for tier in self.tiers:
-                self._activity_sum[tier] += float((unique_tiers == int(tier)).sum())
         else:
-            counts = np.asarray(counts, dtype=float)
-            np.add.at(self.activity, pages, counts)
-            # One bincount pass yields the per-placement count sums
-            # (slot 0 absorbs UNALLOCATED pages, which belong to no tier).
-            sums = np.bincount(
-                tiers.astype(np.intp) + 1, weights=counts, minlength=self.num_tiers + 1
-            )
-            for tier in self.tiers:
-                self._activity_sum[tier] += float(sums[tier + 1])
+            np.add.at(self.activity, pages, np.asarray(counts, dtype=float))
+        self._activity_sums_stale = True
         self._activity_gen += 1
         if self.debug_accounting:
             self.check_accounting()
@@ -323,8 +341,9 @@ class TieredMemory:
         if steps > 0:
             factor = self.activity_decay**steps
             self.activity *= factor
-            for tier in self.tiers:
-                self._activity_sum[tier] *= factor
+            if not self._activity_sums_stale:
+                for tier in self.tiers:
+                    self._activity_sum[tier] *= factor
             self._last_decay_window = window
             self._activity_gen += 1
 
@@ -345,6 +364,28 @@ class TieredMemory:
         self._mean_cache[tier] = (key, value)
         return value
 
+    def cold_count(self, tier: Tier, max_activity: float) -> int:
+        """Resident pages in ``tier`` at or below ``max_activity``.
+
+        The count behind eager-demotion space budgets.  Computed over
+        the cached resident array exactly like the per-window
+        ``activity[pages] <= threshold`` gather-and-compare it replaces,
+        then memoised on (placement, activity, threshold) so repeated
+        queries within a window are O(1).
+        """
+        key = (self._placement_gen, self._activity_gen, float(max_activity))
+        cached = self._cold_cache.get(tier)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        resident = self.pages_in_tier(tier)
+        value = (
+            int(np.count_nonzero(self.activity[resident] <= max_activity))
+            if resident.size
+            else 0
+        )
+        self._cold_cache[tier] = (key, value)
+        return value
+
     # -- migration primitives -------------------------------------------------
 
     def move(
@@ -359,7 +400,9 @@ class TieredMemory:
         destination's free capacity are silently skipped (the kernel's
         ``move_pages()`` likewise partially succeeds).
         """
-        pages = np.unique(np.asarray(pages, dtype=np.int64))
+        # Sort-based dedupe: identical array to np.unique, several times
+        # faster at migration batch sizes (see repro.common.arrays).
+        pages = sorted_unique(np.asarray(pages, dtype=np.int64))
         dst_i = int(dst)
         place = self.placement[pages]
         if src is None:
@@ -383,9 +426,10 @@ class TieredMemory:
                 sub = movable[src_place == s]
                 self.used[s] -= sub.size
                 self._charge_frames(s, sub, -1.0)
-                moved_activity = float(self.activity[sub].sum())
-                self._activity_sum[s] -= moved_activity
-                self._activity_sum[dst_i] += moved_activity
+                if not self._activity_sums_stale:
+                    moved_activity = float(self.activity[sub].sum())
+                    self._activity_sum[s] -= moved_activity
+                    self._activity_sum[dst_i] += moved_activity
             self.placement[movable] = dst_i
             self.used[dst_i] += movable.size
             self._charge_frames(dst_i, movable, +1.0)
@@ -395,6 +439,58 @@ class TieredMemory:
             if self.debug_accounting:
                 self.check_accounting()
         return movable
+
+    def apply_moves(self, moves: Sequence[Tuple[np.ndarray, int, int]]) -> None:
+        """Apply pre-clipped migration hops with one fused scatter.
+
+        ``moves`` is an ordered sequence of ``(pages, src, dst)`` hops
+        in which every page array is sorted, deduped, currently
+        resident in ``src``, and already clipped to what ``dst`` can
+        admit -- i.e. exactly the arrays a sequence of :meth:`move`
+        calls would have returned hop by hop.  The planner's
+        :class:`PlacementOverlay` produces such hops by construction.
+
+        Bit-exactness vs. the per-hop path: the float accounting
+        (activity sums, compressed-tier frame charges) runs per hop in
+        the same operation order :meth:`move` used, so every
+        intermediate float is identical; the placement and arrival
+        writes -- pure scatters whose final value per page is the last
+        hop touching it, exactly as sequential scatters would leave
+        them -- are fused into one concatenated store each.
+        """
+        live: List[Tuple[np.ndarray, int, int]] = []
+        for pages, src, dst in moves:
+            if pages.size:
+                live.append((pages, int(src), int(dst)))
+        if not live:
+            return
+        arrival_parts: List[np.ndarray] = []
+        dst_parts: List[np.ndarray] = []
+        for pages, src, dst in live:
+            self.used[src] -= pages.size
+            self._charge_frames(src, pages, -1.0)
+            if not self._activity_sums_stale:
+                moved_activity = float(self.activity[pages].sum())
+                self._activity_sum[src] -= moved_activity
+                self._activity_sum[dst] += moved_activity
+            self.used[dst] += pages.size
+            self._charge_frames(dst, pages, +1.0)
+            self._arrival_counter += 1
+            dst_parts.append(np.full(pages.size, dst, dtype=self.placement.dtype))
+            arrival_parts.append(
+                np.full(pages.size, self._arrival_counter, dtype=self.arrival.dtype)
+            )
+        if len(live) == 1:
+            pages, _, dst = live[0]
+            self.placement[pages] = dst
+            self.arrival[pages] = self._arrival_counter
+        else:
+            idx = np.concatenate([pages for pages, _, _ in live])
+            self.placement[idx] = np.concatenate(dst_parts)
+            self.arrival[idx] = np.concatenate(arrival_parts)
+        self._placement_gen += 1
+        if self.debug_accounting:
+            self.check_accounting()
 
     def lru_victims(
         self,
@@ -418,7 +514,34 @@ class TieredMemory:
         """
         if count <= 0:
             return np.empty(0, dtype=np.int64)
-        resident = self.pages_in_tier(tier)
+        return self.select_victims(
+            self.pages_in_tier(tier),
+            tier,
+            count,
+            protect=protect,
+            max_activity=max_activity,
+            fifo=fifo,
+        )
+
+    def select_victims(
+        self,
+        resident: np.ndarray,
+        tier: Tier,
+        count: int,
+        protect: Optional[np.ndarray] = None,
+        max_activity: Optional[float] = None,
+        fifo: bool = False,
+    ) -> np.ndarray:
+        """The :meth:`lru_victims` ranking over a caller-supplied
+        resident set (sorted ascending, as ``pages_in_tier`` returns).
+
+        Exposed separately so the migration engine's fused planner can
+        rank victims against its *planned* placement (mid-window state
+        that exists only as an overlay) with exactly the eligibility and
+        ordering rules the live path uses.
+        """
+        if count <= 0:
+            return np.empty(0, dtype=np.int64)
         if int(tier) != int(Tier.FAST):
             resident = resident[~self._pinned[resident]]
         if protect is not None and protect.size:
@@ -440,6 +563,10 @@ class TieredMemory:
         part = np.argpartition(keys, count)[:count]
         order = np.argsort(keys[part], kind="stable")
         return resident[part[order]]
+
+    def overlay(self) -> "PlacementOverlay":
+        """Scratch placement/capacity state for migration *planning*."""
+        return PlacementOverlay(self)
 
     # -- pinning (used by non-exclusive tiering a la Nomad) -------------------
 
@@ -464,6 +591,8 @@ class TieredMemory:
         the ``REPRO_DEBUG_ACCOUNTING`` environment variable is
         non-empty).
         """
+        if self._activity_sums_stale:
+            self._refresh_activity_sums()
         for tier in self.tiers:
             label = tier_label(tier)
             scan = np.flatnonzero(self.placement == int(tier)).astype(np.int64)
@@ -496,3 +625,118 @@ class TieredMemory:
                         f"frames_used[{label}]={self._frames_used[tier]!r} "
                         f"exceeds capacity {self.capacity[tier]}"
                     )
+
+
+class PlacementOverlay:
+    """Scratch placement/capacity state for planning a window's migrations.
+
+    The fused migration engine replays the legacy per-hop control flow
+    against this overlay *before* touching the real memory: the overlay
+    copies the placement array and the per-tier used/frame counters, and
+    :meth:`clip_move` reproduces :meth:`TieredMemory.move`'s exact
+    select/clip arithmetic (same dedupe, same pinned filter, same
+    capacity/frame clipping, same float charge order) while mutating
+    only the scratch state.  The hop page arrays it returns are
+    therefore, by construction, exactly what the sequence of real
+    ``move`` calls would have returned -- ready for
+    :meth:`TieredMemory.apply_moves`'s single fused scatter.
+
+    Activity and pinning are read straight from the underlying memory:
+    neither changes during migration application, so no copy is needed.
+    """
+
+    def __init__(self, memory: TieredMemory):
+        self._memory = memory
+        self.placement = memory.placement.copy()
+        self.used: List[int] = list(memory.used)
+        self._frames_used: List[float] = list(memory._frames_used)
+        #: False until the first planned hop: pristine overlays can keep
+        #: serving the memory's cached resident arrays.
+        self._mutated = False
+
+    def tier_of(self, pages: np.ndarray) -> np.ndarray:
+        return self.placement[np.asarray(pages, dtype=np.int64)]
+
+    def free_pages(self, tier: int) -> int:
+        """Planned-state analogue of :meth:`TieredMemory.free_pages`."""
+        if self._memory._page_frame_cost[tier] is None:
+            return self._memory.capacity[tier] - self.used[tier]
+        return int(np.floor(self._memory.capacity[tier] - self._frames_used[tier]))
+
+    def pages_in_tier(self, tier: int) -> np.ndarray:
+        """Sorted resident ids under the planned placement."""
+        if not self._mutated:
+            return self._memory.pages_in_tier(tier)
+        return np.flatnonzero(self.placement == int(tier)).astype(np.int64)
+
+    def lru_victims(
+        self,
+        tier: int,
+        count: int,
+        protect: Optional[np.ndarray] = None,
+        max_activity: Optional[float] = None,
+        fifo: bool = False,
+    ) -> np.ndarray:
+        """Victim ranking over the planned resident set.
+
+        Delegates to :meth:`TieredMemory.select_victims` so eligibility
+        and ordering rules stay byte-for-byte those of the live path.
+        """
+        if count <= 0:
+            return np.empty(0, dtype=np.int64)
+        return self._memory.select_victims(
+            self.pages_in_tier(tier),
+            tier,
+            count,
+            protect=protect,
+            max_activity=max_activity,
+            fifo=fifo,
+        )
+
+    def _admit_count(self, tier: int, pages: np.ndarray) -> int:
+        cost = self._memory._page_frame_cost[tier]
+        if cost is None:
+            return max(min(self._memory.capacity[tier] - self.used[tier], pages.size), 0)
+        free = self._memory.capacity[tier] - self._frames_used[tier]
+        if free <= 0.0 or pages.size == 0:
+            return 0
+        cum = np.cumsum(cost[pages])
+        return int(np.searchsorted(cum, free, side="right"))
+
+    def _charge_frames(self, tier: int, pages: np.ndarray, sign: float) -> None:
+        cost = self._memory._page_frame_cost[tier]
+        if cost is not None and pages.size:
+            self._frames_used[tier] += sign * float(cost[pages].sum())
+
+    def clip_move(self, pages: np.ndarray, dst: int, src: int) -> np.ndarray:
+        """Select/clip one migration hop and commit it to the overlay.
+
+        Mirrors :meth:`TieredMemory.move` with an explicit ``src`` (the
+        only form the migration engine uses): sorted dedupe, source
+        filter against the planned placement, pinned filter on
+        demotions, then capacity (or exact per-page frame) clipping
+        against the planned occupancy.  Returns the pages the real move
+        would have moved.
+        """
+        pages = sorted_unique(np.asarray(pages, dtype=np.int64))
+        dst_i = int(dst)
+        place = self.placement[pages]
+        movable = pages[place == int(src)]
+        if dst_i != int(Tier.FAST):
+            movable = movable[~self._memory._pinned[movable]]
+        cost = self._memory._page_frame_cost[dst_i]
+        if cost is None:
+            room = self._memory.capacity[dst_i] - self.used[dst_i]
+            if movable.size > room:
+                movable = movable[:room]
+        else:
+            movable = movable[: self._admit_count(dst_i, movable)]
+        if movable.size:
+            src_i = int(src)
+            self.used[src_i] -= movable.size
+            self._charge_frames(src_i, movable, -1.0)
+            self.placement[movable] = dst_i
+            self.used[dst_i] += movable.size
+            self._charge_frames(dst_i, movable, +1.0)
+            self._mutated = True
+        return movable

@@ -49,6 +49,17 @@ class _NullSpan:
 _NULL_SPAN = _NullSpan()
 
 
+def null_profile(label: str) -> _NullSpan:  # noqa: ARG001
+    """Module-level no-op span factory.
+
+    Components that hold a ``profile`` handle (policies, the migration
+    engine) default to this when no observability bundle is attached,
+    so their hot paths stay branch-free: ``with self._profile(label):``
+    costs one no-op context manager either way.
+    """
+    return _NULL_SPAN
+
+
 class SpanProfiler:
     """Accumulates (total seconds, calls) per span label."""
 

@@ -146,15 +146,23 @@ SUITE: "tuple[PerfScenario, ...]" = tuple(
 )
 
 #: Multi-run additions to the suite: the acceptance-critical PACT case
-#: swept across seeds and ratios, exercising the lockstep executor.
+#: and the heaviest dynamic baseline, each swept across seeds and
+#: ratios, exercising the lockstep executor.
 MULTI_SUITE: "tuple[MultiRunScenario, ...]" = (
     MultiRunScenario(name="graph-pact-multi", workload="bc-kron", policy="PACT"),
+    MultiRunScenario(name="memtis-multi", workload="bc-kron", policy="Memtis"),
 )
 
 #: ``--quick`` subset: same scenario parameters, graph workload only
 #: (the acceptance-critical PACT case plus both baselines for context,
-#: and the multi-run grid that exercises the lockstep executor).
-QUICK_NAMES = ("graph-pact", "graph-memtis", "graph-notier", "graph-pact-multi")
+#: and the multi-run grids that exercise the lockstep executor).
+QUICK_NAMES = (
+    "graph-pact",
+    "graph-memtis",
+    "graph-notier",
+    "graph-pact-multi",
+    "memtis-multi",
+)
 
 
 def scenarios(quick: bool = False, rng_schema: int = 2) -> "tuple[object, ...]":
@@ -191,11 +199,38 @@ def calibration_score(repeats: int = 3) -> float:
     return best
 
 
+def _cprofile_run(name: str, run_once, profile_dir: str) -> str:
+    """Execute ``run_once()`` under cProfile; dump pstats + text summary.
+
+    Writes ``<profile_dir>/<name>.pstats`` (binary, loadable with
+    :mod:`pstats`/snakeviz) and a ``.txt`` sibling with the top
+    cumulative entries, for hot-spot triage next to ``BENCH_perf.json``.
+    Returns the pstats path.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    os.makedirs(profile_dir, exist_ok=True)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_once()
+    profiler.disable()
+    path = os.path.join(profile_dir, f"{name}.pstats")
+    profiler.dump_stats(path)
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(40)
+    with open(os.path.join(profile_dir, f"{name}.txt"), "w") as fh:
+        fh.write(stream.getvalue())
+    return path
+
+
 def run_scenario(
     scenario: PerfScenario,
     repeats: int = 2,
     profile: bool = True,
     trace_store=None,
+    profile_dir: Optional[str] = None,
 ) -> Dict[str, object]:
     """Time one scenario; best-of-``repeats`` plus a profiled extra run.
 
@@ -261,6 +296,12 @@ def run_scenario(
             label: {"seconds": t["seconds"], "calls": t["calls"]}
             for label, t in obs.timings().items()
         }
+    if profile_dir is not None:
+        record["cprofile"] = _cprofile_run(
+            scenario.name,
+            lambda: scenario.build(trace_store).run(),
+            profile_dir,
+        )
     return record
 
 
@@ -269,6 +310,7 @@ def run_multi_scenario(
     repeats: int = 2,
     profile: bool = True,
     trace_store=None,
+    profile_dir: Optional[str] = None,
 ) -> Dict[str, object]:
     """Time one multi-run grid; best-of-``repeats`` plus a profiled leg.
 
@@ -346,6 +388,17 @@ def run_multi_scenario(
                 agg["seconds"] += t["seconds"]
                 agg["calls"] += t["calls"]
         record["spans"] = spans
+    if profile_dir is not None:
+
+        def _run_once():
+            machines = scenario.build_machines(trace_store)
+            if trace_store is not None:
+                MultiMachine(machines).run()
+            else:
+                for machine in machines:
+                    machine.run()
+
+        record["cprofile"] = _cprofile_run(scenario.name, _run_once, profile_dir)
     return record
 
 
@@ -357,6 +410,7 @@ def run_suite(
     replay: bool = True,
     trace_dir: Optional[str] = DEFAULT_TRACE_DIR,
     rng_schema: int = 2,
+    profile_dir: Optional[str] = None,
 ) -> Dict[str, object]:
     """Run the (quick or full) suite and return the report document.
 
@@ -389,7 +443,11 @@ def run_suite(
             else run_scenario
         )
         record = runner(
-            scenario, repeats=repeats, profile=profile, trace_store=trace_store
+            scenario,
+            repeats=repeats,
+            profile=profile,
+            trace_store=trace_store,
+            profile_dir=profile_dir,
         )
         report["scenarios"][scenario.name] = record
         if progress is not None:

@@ -9,7 +9,7 @@ from repro.sim.engine import (
 )
 from repro.sim.machine import Machine
 from repro.sim.metrics import RunResult, WindowRecord, improvement
-from repro.sim.migration import MigrationEngine, MigrationOutcome
+from repro.sim.migration import MigrationEngine, MigrationOutcome, MovePlan
 from repro.sim.traceio import read_json, result_to_dict, write_json, write_trace_csv
 from repro.sim.policy_api import (
     Decision,
@@ -27,6 +27,7 @@ __all__ = [
     "MigrationCost",
     "MigrationEngine",
     "MigrationOutcome",
+    "MovePlan",
     "NoTierPolicy",
     "Observation",
     "PAPER_RATIOS",

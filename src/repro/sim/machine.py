@@ -19,7 +19,7 @@ the paper's slowdown metric compares it to an ideal all-DRAM run.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -164,10 +164,28 @@ class Machine:
         self._split_plan = None
         self._pebs_plan = None
         self._solve_plan = None
+        #: Dynamic-replay prestages: trace-determined split/touch inputs
+        #: and the positive-record PEBS subset (:mod:`repro.hw.drawplan`).
+        self._entry_meta = None
+        self._pebs_pos = None
+        #: Per-window placement gather shared by split/merge/touch
+        #: (set by :meth:`_prepare_window`, valid until migration).
+        self._entry_tiers = None
+        #: This window's prestaged float counts from the entry meta
+        #: plan, consumed by the touch in :meth:`_finish_window`.
+        self._window_meta = None
         #: Static runs whose policy never reads activity/LRU state skip
         #: the per-window touch -- nothing observable depends on it.
         self._skip_touch = bool(
             policy.static_placement and not policy.reads_page_activity
+        )
+        #: Only the schema-1 PEBS/CHMU samplers walk per-share page
+        #: lists; every other consumer of a window's ShareBatch (the
+        #: solver, the TOR/perf counters, the keyed schema-2 samplers,
+        #: the trace recorder) reads row columns only, so the split can
+        #: skip building the page/count partition entirely.
+        self._misses_only_split = not (
+            policy.needs_pebs and self._keyed_pebs is None
         )
 
         workload.reset()
@@ -254,10 +272,40 @@ class Machine:
             # Static placement under replay: the whole run was split up
             # front; this window's ShareBatch is a pre-sliced view.
             shares = self._split_plan.window_batch(self._window)
+            entry_tiers = None
+            self._window_meta = None
         else:
-            shares = self.stall_model.split_groups(
-                traffic.groups, self.memory.placement, pages=all_pages, counts=all_counts
-            )
+            # One placement gather serves the split, the keyed PEBS
+            # merge, and the LRU/activity touch: placement cannot change
+            # between here and the window's migration apply.
+            entry_tiers = self.memory.placement[all_pages]
+            meta = self._entry_meta
+            if meta is not None:
+                key_base, counts_f = meta.window(self._window)
+                shares = self.stall_model.split_groups(
+                    traffic.groups,
+                    self.memory.placement,
+                    pages=all_pages,
+                    counts=all_counts,
+                    tiers=entry_tiers,
+                    misses_only=self._misses_only_split,
+                    key_base=key_base,
+                    counts_f=counts_f,
+                    counts_positive=meta.counts_positive,
+                    assume_allocated=self.memory.fully_allocated,
+                )
+                self._window_meta = counts_f
+            else:
+                shares = self.stall_model.split_groups(
+                    traffic.groups,
+                    self.memory.placement,
+                    pages=all_pages,
+                    counts=all_counts,
+                    tiers=entry_tiers,
+                    misses_only=self._misses_only_split,
+                )
+                self._window_meta = None
+        self._entry_tiers = entry_tiers
 
         extra_bytes = dict(self._pending_bytes)
         if self.contender is not None:
@@ -295,7 +343,14 @@ class Machine:
         # Count-zero entries are deliberately kept: they stamp
         # ``last_touch`` (as they always have) while adding no activity.
         if not self._skip_touch:
-            self.memory.touch(all_pages, self._window, counts=all_counts)
+            # The prestaged float counts (when replay provides them)
+            # save the per-window int->float conversion.
+            wm = self._window_meta
+            self.memory.touch(
+                all_pages,
+                self._window,
+                counts=all_counts if wm is None else wm,
+            )
 
         obs = self._observe(pebs_batch, touched, outcome.duration_cycles)
         with self.obs.profile("policy_observe"):
@@ -398,7 +453,11 @@ class Machine:
                 if self._pebs_plan is not None:
                     pebs_drawn = self._pebs_plan.batch_for(self._window)
                 elif self._keyed_pebs is not None:
-                    if self._pebs_records is not None:
+                    if self._pebs_pos is not None:
+                        # Positive-record subset prestaged: nothing to
+                        # draw; the merge stage reads the plan directly.
+                        pebs_drawn = None
+                    elif self._pebs_records is not None:
                         pebs_drawn = self._pebs_records.window_records(self._window)
                     else:
                         lf = (
@@ -425,6 +484,13 @@ class Machine:
             # Planned batches (static replay) arrive fully merged.
             return pebs_drawn
         if self.rng_schema == 2 and self._keyed_pebs is not None:
+            if self._pebs_pos is not None:
+                pos_idx, pages_pos, recs_pos, srt = self._pebs_pos.window(
+                    self._window
+                )
+                return self._keyed_pebs.merge_window_pos(
+                    pos_idx, pages_pos, recs_pos, self._entry_tiers, srt
+                )
             from repro.hw.substream import entry_group_indices
 
             batch = None
@@ -438,6 +504,7 @@ class Machine:
                 self.memory.placement,
                 batch=batch,
                 entry_groups=entry_groups,
+                tier_of=self._entry_tiers,
             )
         if pebs_drawn is not None:
             return self.pebs.merge(pebs_drawn)
@@ -483,29 +550,11 @@ class Machine:
         return obs
 
     def _apply(self, decision: Decision) -> MigrationOutcome:
-        total = MigrationOutcome()
         if decision.empty:
-            return total
-        for part in self._apply_parts(decision):
-            total.merge(part)
+            return MigrationOutcome()
+        total = self.engine.apply_window(decision)
         self.policy.on_migration(total)
         return total
-
-    def _apply_parts(self, decision: Decision) -> List[MigrationOutcome]:
-        parts: List[MigrationOutcome] = []
-        if decision.demote_lru > 0:
-            parts.append(
-                self.engine.demote_lru(
-                    decision.demote_lru,
-                    protect=decision.promote,
-                    victim_mode=decision.demote_victim_mode,
-                )
-            )
-        if decision.demote.size:
-            parts.append(self.engine.demote(decision.demote))
-        if decision.promote.size:
-            parts.append(self.engine.promote(decision.promote, make_room=False))
-        return parts
 
     def _publish_window(self, outcome, migration, duration) -> None:
         """Publish this window's loop-health metrics into the registry."""

@@ -14,18 +14,34 @@ to capacity admission (and the optional :attr:`MigrationEngine.admission`
 hook), and its copy traffic is charged to the two tiers it actually
 touches.  Both modes reduce to the single fast->slow hop on the default
 two-tier pair.
+
+The window hot path is a fused plan/apply split
+(:meth:`MigrationEngine.apply_window`): the plan phase replays the
+per-hop control flow against a :class:`~repro.mem.tiered.PlacementOverlay`
+-- one ``tier_of`` gather per order batch, victim selection and capacity
+clipping against the *planned* placement -- and resolves the whole
+window (reclaim, explicit demotions, cascades, promotions) into a single
+:class:`MovePlan`; the apply phase commits the plan with one fused
+placement scatter (:meth:`~repro.mem.tiered.TieredMemory.apply_moves`)
+and then accounts every hop in order.  The per-hop methods
+(:meth:`~MigrationEngine.demote_lru` / :meth:`~MigrationEngine.demote` /
+:meth:`~MigrationEngine.promote`, reachable together through
+:meth:`~MigrationEngine.apply_window_legacy`) stay importable as the
+exactness reference -- the property tests pin the two paths
+bit-identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.common.units import PAGE_SIZE, PAGES_PER_HUGE_PAGE
 from repro.mem.page import Tier, expand_huge_pages, huge_page_of
-from repro.mem.tiered import TieredMemory
+from repro.mem.tiered import PlacementOverlay, TieredMemory
+from repro.obs.profiler import null_profile as _null_profile
 from repro.sim.config import MachineConfig
 
 
@@ -33,19 +49,68 @@ def _no_pages() -> np.ndarray:
     return np.empty(0, dtype=np.int64)
 
 
-@dataclass
 class MigrationOutcome:
-    """Result of applying one window's migration orders."""
+    """Result of applying one window's migration orders.
 
-    promoted: int = 0
-    demoted: int = 0
-    cost_cycles: float = 0.0
-    bytes_moved: float = 0.0
-    promoted_pages: np.ndarray = field(default_factory=_no_pages)
-    demoted_pages: np.ndarray = field(default_factory=_no_pages)
-    #: Copy traffic per tier index touched (each hop charges half its
-    #: bytes to the source tier's link and half to the destination's).
-    link_bytes: Dict[int, float] = field(default_factory=dict)
+    Page arrays accumulate as parts lists and materialise (once) on
+    first read of :attr:`promoted_pages` / :attr:`demoted_pages`:
+    merging ``k`` hop outcomes is O(k) appends plus a single
+    concatenation, not the O(k^2) repeated ``np.concatenate`` a field
+    per merge would cost across multi-hop cascades.
+    """
+
+    __slots__ = (
+        "promoted",
+        "demoted",
+        "cost_cycles",
+        "bytes_moved",
+        "link_bytes",
+        "_promoted_parts",
+        "_demoted_parts",
+    )
+
+    def __init__(
+        self,
+        promoted: int = 0,
+        demoted: int = 0,
+        cost_cycles: float = 0.0,
+        bytes_moved: float = 0.0,
+        promoted_pages: Optional[np.ndarray] = None,
+        demoted_pages: Optional[np.ndarray] = None,
+        link_bytes: Optional[Dict[int, float]] = None,
+    ):
+        self.promoted = promoted
+        self.demoted = demoted
+        self.cost_cycles = cost_cycles
+        self.bytes_moved = bytes_moved
+        #: Copy traffic per tier index touched (each hop charges half its
+        #: bytes to the source tier's link and half to the destination's).
+        self.link_bytes: Dict[int, float] = {} if link_bytes is None else link_bytes
+        self._promoted_parts: List[np.ndarray] = []
+        self._demoted_parts: List[np.ndarray] = []
+        if promoted_pages is not None and promoted_pages.size:
+            self._promoted_parts.append(promoted_pages)
+        if demoted_pages is not None and demoted_pages.size:
+            self._demoted_parts.append(demoted_pages)
+
+    @staticmethod
+    def _materialise(parts: List[np.ndarray]) -> np.ndarray:
+        if not parts:
+            return _no_pages()
+        if len(parts) > 1:
+            # Collapse in place so repeated reads don't re-concatenate.
+            parts[:] = [np.concatenate(parts)]
+        return parts[0]
+
+    @property
+    def promoted_pages(self) -> np.ndarray:
+        """Pages promoted this window, in hop order."""
+        return self._materialise(self._promoted_parts)
+
+    @property
+    def demoted_pages(self) -> np.ndarray:
+        """Pages demoted this window, in hop order."""
+        return self._materialise(self._demoted_parts)
 
     def merge(self, other: "MigrationOutcome") -> None:
         self.promoted += other.promoted
@@ -54,10 +119,37 @@ class MigrationOutcome:
         self.bytes_moved += other.bytes_moved
         for tier, nbytes in other.link_bytes.items():
             self.link_bytes[tier] = self.link_bytes.get(tier, 0.0) + nbytes
-        if other.promoted_pages.size:
-            self.promoted_pages = np.concatenate([self.promoted_pages, other.promoted_pages])
-        if other.demoted_pages.size:
-            self.demoted_pages = np.concatenate([self.demoted_pages, other.demoted_pages])
+        self._promoted_parts.extend(other._promoted_parts)
+        self._demoted_parts.extend(other._demoted_parts)
+
+
+@dataclass
+class MovePlan:
+    """One window's migrations resolved into ordered, pre-clipped hops.
+
+    Each hop is ``(pages, src, dst, promoted)`` with the page array
+    sorted, deduped, and clipped exactly as the corresponding live
+    :meth:`TieredMemory.move` call would have returned it; hop order is
+    the live path's execution order (cascades ahead of the hop that
+    triggered them).
+
+    ``program`` mirrors the per-hop path's *outcome merge tree*: a
+    nested list whose leaves are hop indices and whose inner lists are
+    the sub-outcomes (phases, cascade chains) the legacy path summed
+    before merging upward.  Replaying it keeps the float association of
+    ``cost_cycles`` -- the one outcome field whose per-hop terms are
+    inexact -- bit-identical to the reference, where a flat left fold
+    over the hops can drift by an ulp on multi-hop windows.
+    """
+
+    hops: List[Tuple[np.ndarray, int, int, bool]] = field(default_factory=list)
+    #: Nested merge program; ints index :attr:`hops`.
+    program: List = field(default_factory=list)
+
+    @property
+    def moves(self) -> List[Tuple[np.ndarray, int, int]]:
+        """The hops as ``(pages, src, dst)`` for ``apply_moves``."""
+        return [(pages, src, dst) for pages, src, dst, _ in self.hops]
 
 
 class MigrationEngine:
@@ -76,6 +168,7 @@ class MigrationEngine:
         #: Optional :class:`repro.obs.Observability` sink for cumulative
         #: promotion/demotion/cost counters (None = no publishing).
         self._obs = obs
+        self._profile = obs.profile if obs is not None else _null_profile
         self.total_promoted = 0
         self.total_demoted = 0
         self.total_cost_cycles = 0.0
@@ -129,6 +222,10 @@ class MigrationEngine:
         """
         if victim_mode not in ("cold", "lru_tail", "fifo"):
             raise ValueError(f"unknown victim mode {victim_mode!r}")
+        if count <= 0:
+            # Nothing to reclaim: skip the mean-activity threshold and
+            # the victim walk entirely.
+            return MigrationOutcome()
         max_activity = None
         if victim_mode == "cold":
             max_activity = (
@@ -221,6 +318,194 @@ class MigrationEngine:
             moved = self.memory.move(sub, Tier.FAST, src=src)
             outcome.merge(self._account(moved, promoted=True, src=src, dst=top))
         return outcome
+
+    # -- fused window apply ------------------------------------------------------
+
+    def apply_window(self, decision) -> MigrationOutcome:
+        """Apply one window's :class:`~repro.sim.policy_api.Decision`, fused.
+
+        Three phases, each under its own profiler span: ``migrate_plan``
+        resolves reclaim + demotions + promotions (and any cascades)
+        into a :class:`MovePlan` against a placement overlay without
+        touching live state; ``migrate_move`` commits the plan with one
+        fused scatter; ``migrate_account`` charges costs and counters
+        hop by hop in plan order.  Bit-identical to
+        :meth:`apply_window_legacy` (the per-hop reference): the plan
+        phase replays its exact control flow and clipping arithmetic,
+        and the account phase runs the same float accumulations in the
+        same hop order.
+        """
+        with self._profile("migrate_plan"):
+            plan = self.plan_window(decision)
+        with self._profile("migrate_move"):
+            if plan.hops:
+                self.memory.apply_moves(plan.moves)
+        with self._profile("migrate_account"):
+            outcome = MigrationOutcome()
+            for node in plan.program:
+                outcome.merge(self._account_node(node, plan))
+        return outcome
+
+    def _account_node(self, node, plan: MovePlan) -> MigrationOutcome:
+        """Evaluate one node of the plan's merge program (see MovePlan)."""
+        if isinstance(node, int):
+            pages, src, dst, promoted = plan.hops[node]
+            return self._account(pages, promoted=promoted, src=src, dst=dst)
+        out = MigrationOutcome()
+        for child in node:
+            out.merge(self._account_node(child, plan))
+        return out
+
+    def apply_window_legacy(self, decision) -> MigrationOutcome:
+        """Per-hop reference implementation of :meth:`apply_window`.
+
+        Applies the decision through the mutate-as-you-go ``demote_lru``
+        / ``demote`` / ``promote`` path (one ``memory.move`` per hop).
+        Kept importable as the exactness oracle for the fused path's
+        property tests, like ``split_groups_legacy`` in the stall model.
+        """
+        total = MigrationOutcome()
+        if decision.demote_lru > 0:
+            total.merge(
+                self.demote_lru(
+                    decision.demote_lru,
+                    protect=decision.promote,
+                    victim_mode=decision.demote_victim_mode,
+                )
+            )
+        if decision.demote.size:
+            total.merge(self.demote(decision.demote))
+        if decision.promote.size:
+            total.merge(self.promote(decision.promote, make_room=False))
+        return total
+
+    def plan_window(self, decision) -> MovePlan:
+        """Resolve a decision into ordered pre-clipped hops (no mutation).
+
+        The overlay starts as a copy of live placement/occupancy, so
+        the first order batch (always the LRU reclaim, which is what
+        consults activity state) sees exactly the live state, and every
+        later batch sees the placement its predecessors will have
+        produced -- the same intermediate states the per-hop path
+        marches through.
+        """
+        plan = MovePlan()
+        overlay = self.memory.overlay()
+        if decision.demote_lru > 0:
+            self._plan_demote_lru(
+                overlay,
+                plan,
+                decision.demote_lru,
+                protect=decision.promote,
+                victim_mode=decision.demote_victim_mode,
+            )
+        if decision.demote.size:
+            plan.program.append(self._plan_demote(overlay, plan, decision.demote))
+        if decision.promote.size:
+            plan.program.append(self._plan_promote(overlay, plan, decision.promote))
+        return plan
+
+    def _plan_demote_lru(
+        self,
+        overlay: PlacementOverlay,
+        plan: MovePlan,
+        count: int,
+        protect: np.ndarray,
+        victim_mode: str,
+    ) -> None:
+        if victim_mode not in ("cold", "lru_tail", "fifo"):
+            raise ValueError(f"unknown victim mode {victim_mode!r}")
+        if count <= 0:
+            return
+        max_activity = None
+        if victim_mode == "cold":
+            # Reclaim is planned first, against a pristine overlay, so
+            # the live mean is exactly the mean the per-hop path uses.
+            max_activity = (
+                self.config.cold_activity_fraction * self.memory.mean_activity(Tier.FAST)
+            )
+        victims = overlay.lru_victims(
+            Tier.FAST,
+            count,
+            protect=protect,
+            max_activity=max_activity,
+            fifo=victim_mode == "fifo",
+        )
+        plan.program.append(self._plan_demote(overlay, plan, victims))
+
+    def _plan_demote(
+        self, overlay: PlacementOverlay, plan: MovePlan, pages: np.ndarray
+    ) -> List:
+        node: List = []
+        pages = self._expand_thp(np.asarray(pages, dtype=np.int64))
+        if pages.size == 0:
+            return node
+        place = overlay.tier_of(pages)
+        for src in range(self.num_tiers - 1):
+            sub = pages[place == src]
+            if sub.size == 0:
+                continue
+            dst = self._demote_dst(src)
+            sub = self._admit(src, dst, sub)
+            if sub.size == 0:
+                continue
+            if dst < self.num_tiers - 1:
+                deficit = sub.size - overlay.free_pages(dst)
+                if deficit > 0:
+                    node.append(self._plan_cascade(overlay, plan, dst, deficit, protect=sub))
+            moved = overlay.clip_move(sub, dst, src=src)
+            if moved.size:
+                plan.hops.append((moved, src, dst, False))
+                node.append(len(plan.hops) - 1)
+        return node
+
+    def _plan_cascade(
+        self,
+        overlay: PlacementOverlay,
+        plan: MovePlan,
+        tier: int,
+        count: int,
+        protect: np.ndarray,
+    ) -> List:
+        node: List = []
+        victims = overlay.lru_victims(tier, count, protect=protect)
+        if victims.size == 0:
+            return node
+        dst = self._demote_dst(tier)
+        victims = self._admit(tier, dst, victims)
+        if victims.size == 0:
+            return node
+        if dst < self.num_tiers - 1:
+            deficit = victims.size - overlay.free_pages(dst)
+            if deficit > 0:
+                node.append(self._plan_cascade(overlay, plan, dst, deficit, protect=victims))
+        moved = overlay.clip_move(victims, dst, src=tier)
+        if moved.size:
+            plan.hops.append((moved, tier, dst, False))
+            node.append(len(plan.hops) - 1)
+        return node
+
+    def _plan_promote(
+        self, overlay: PlacementOverlay, plan: MovePlan, pages: np.ndarray
+    ) -> List:
+        node: List = []
+        pages = self._expand_thp(np.asarray(pages, dtype=np.int64))
+        if pages.size == 0:
+            return node
+        place = overlay.tier_of(pages)
+        top = int(Tier.FAST)
+        for src in range(1, self.num_tiers):
+            sub = pages[place == src]
+            if sub.size == 0:
+                continue
+            sub = self._admit(src, top, sub)
+            if sub.size == 0:
+                continue
+            moved = overlay.clip_move(sub, top, src=src)
+            if moved.size:
+                plan.hops.append((moved, src, top, True))
+                node.append(len(plan.hops) - 1)
+        return node
 
     def _account(
         self, moved: np.ndarray, promoted: bool, src: int, dst: int

@@ -396,8 +396,14 @@ def read_npt(path: PathLike, mmap: bool = True) -> TraceData:
         if length == 0:
             columns[name] = np.empty(0, dtype=np.dtype(dtype))
         elif mmap:
-            columns[name] = np.memmap(path, dtype=np.dtype(dtype), mode="r",
-                                      offset=offset, shape=(length,))
+            mm = np.memmap(path, dtype=np.dtype(dtype), mode="r",
+                           offset=offset, shape=(length,))
+            # View as a plain ndarray: same mmap-backed buffer (the
+            # memmap stays alive via .base, so page-cache sharing across
+            # sweep workers is unchanged) but slicing no longer pays the
+            # memmap.__array_finalize__ subclass overhead -- the replay
+            # hot loop slices these columns thousands of times per run.
+            columns[name] = mm.view(np.ndarray)
         else:
             with path.open("rb") as fh:
                 fh.seek(offset)

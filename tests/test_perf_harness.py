@@ -11,13 +11,14 @@ from repro.perf import harness
 class TestSuiteDefinition:
     def test_full_suite_covers_three_workloads_three_policies(self):
         suite = harness.scenarios(quick=False)
-        assert len(suite) == 10
+        assert len(suite) == 11
         assert {s.workload for s in suite} == {"bc-kron", "silo", "gpt-2"}
         assert {s.policy for s in suite} == {"PACT", "Memtis", "NoTier"}
-        assert len({s.name for s in suite}) == 10
+        assert len({s.name for s in suite}) == 11
         multi = [s for s in suite if isinstance(s, harness.MultiRunScenario)]
-        assert [s.name for s in multi] == ["graph-pact-multi"]
-        assert len(multi[0].runs()) == len(multi[0].seeds) * len(multi[0].ratios)
+        assert [s.name for s in multi] == ["graph-pact-multi", "memtis-multi"]
+        for m in multi:
+            assert len(m.runs()) == len(m.seeds) * len(m.ratios)
 
     def test_quick_subset_shares_parameters_with_full_suite(self):
         full = {s.name: s for s in harness.scenarios(quick=False)}
